@@ -1,0 +1,92 @@
+"""E10 — baselines: rounds vs per-round bandwidth against Name Dropper / Pointer Jump / flooding.
+
+The paper positions the gossip processes as the O(log n)-bits-per-message
+alternative to prior discovery algorithms that finish in polylog rounds but
+ship Θ(n)-size messages.  This benchmark regenerates that trade-off table:
+for each algorithm, the convergence rounds, the total bits, and the peak
+per-node per-round bit budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.network.message import id_bits_for
+from repro.network.simulator import NetworkSimulator
+from repro.simulation.engine import measure_convergence_rounds
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+N = 64
+ALGORITHMS = ["push", "pull", "name_dropper", "pointer_jump", "flooding"]
+
+
+def test_e10_rounds_vs_bits_tradeoff(benchmark):
+    """Rounds and message-bit totals for every algorithm on the same starting graph."""
+
+    def measure():
+        rows = []
+        for name in ALGORITHMS:
+            trials = []
+            for t in range(3):
+                graph = gen.cycle_graph(N)
+                result = measure_convergence_rounds(
+                    name, graph, rng=BENCH_SEED + t, copy_graph=False
+                )
+                trials.append((result.rounds, result.total_bits, result.total_messages))
+            rounds = float(np.mean([t[0] for t in trials]))
+            bits = float(np.mean([t[1] for t in trials]))
+            msgs = float(np.mean([t[2] for t in trials]))
+            rows.append(
+                {
+                    "algorithm": name,
+                    "rounds": rounds,
+                    "total_bits": bits,
+                    "bits_per_round_per_node": bits / rounds / N,
+                    "messages": msgs,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print_table(f"E10 rounds vs bandwidth on a {N}-cycle", rows)
+    by_name = {row["algorithm"]: row for row in rows}
+    # Round ordering: flooding <= name_dropper << push/pull.
+    assert by_name["flooding"]["rounds"] <= by_name["name_dropper"]["rounds"]
+    assert by_name["name_dropper"]["rounds"] < by_name["push"]["rounds"]
+    assert by_name["name_dropper"]["rounds"] < by_name["pull"]["rounds"]
+    # Bandwidth ordering (per node per round): push/pull are O(log n) bits,
+    # the baselines are not.
+    id_bits = id_bits_for(N)
+    assert by_name["push"]["bits_per_round_per_node"] <= 2 * id_bits
+    assert by_name["pull"]["bits_per_round_per_node"] <= 3 * id_bits
+    assert by_name["flooding"]["bits_per_round_per_node"] > 10 * id_bits
+
+
+def test_e10_message_level_bandwidth(benchmark):
+    """The message-passing simulator confirms the per-node bit budgets."""
+
+    def measure():
+        rows = []
+        for protocol in ["push", "pull", "name_dropper"]:
+            sim = NetworkSimulator(gen.cycle_graph(N), protocol=protocol, rng=BENCH_SEED)
+            sim.run_to_convergence(max_rounds=50_000)
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "rounds": sim.stats.rounds,
+                    "max_bits_per_node_round": sim.max_bits_per_node_round(),
+                    "messages_sent": sim.stats.messages_sent,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print_table(f"E10 message-level accounting on a {N}-cycle", rows)
+    by_name = {row["protocol"]: row for row in rows}
+    id_bits = id_bits_for(N)
+    assert by_name["push"]["max_bits_per_node_round"] <= 2 * id_bits
+    assert by_name["pull"]["max_bits_per_node_round"] <= 3 * id_bits + id_bits
+    assert by_name["name_dropper"]["max_bits_per_node_round"] > 4 * id_bits

@@ -1,0 +1,107 @@
+"""E11 — robustness ablations (§6 future work): failures, partial participation, sampling.
+
+Measures how the push/pull convergence time degrades when connection
+attempts fail with probability p, when only a fraction of nodes
+participates per round, and (as an algorithmic ablation) when the push
+process samples its two neighbours without replacement.  Also compares the
+synchronous and sequential update semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import UpdateSemantics
+from repro.graphs import generators as gen
+from repro.simulation.engine import measure_convergence_rounds
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+N = 48
+FAILURE_PROBS = [0.0, 0.1, 0.3, 0.5]
+PARTICIPATION = [1.0, 0.75, 0.5]
+
+
+def _mean_rounds(process: str, n: int, trials: int = 3, **kwargs) -> float:
+    rounds = []
+    for t in range(trials):
+        graph = gen.cycle_graph(n)
+        rounds.append(
+            measure_convergence_rounds(
+                process, graph, rng=BENCH_SEED + t, copy_graph=False, **kwargs
+            ).rounds
+        )
+    return float(np.mean(rounds))
+
+
+@pytest.mark.parametrize("process", ["faulty_push", "faulty_pull"])
+def test_e11_connection_failures(benchmark, process):
+    """Convergence degrades smoothly (roughly like 1/(1-p)) as the failure probability grows."""
+
+    def measure():
+        return [
+            {"failure_prob": p, "rounds_mean": _mean_rounds(process, N, failure_prob=p)}
+            for p in FAILURE_PROBS
+        ]
+
+    rows = run_once(benchmark, measure)
+    baseline = rows[0]["rounds_mean"]
+    for row in rows:
+        row["slowdown"] = row["rounds_mean"] / baseline
+    print_table(f"E11 failure-probability sweep ({process}, n={N})", rows)
+    slowdowns = [row["slowdown"] for row in rows]
+    assert slowdowns[-1] > 1.0  # failures cost something
+    assert slowdowns[-1] < 10.0  # but degrade gracefully, not catastrophically
+    assert all(s2 >= s1 * 0.7 for s1, s2 in zip(slowdowns, slowdowns[1:]))
+
+
+def test_e11_partial_participation(benchmark):
+    """Halving participation roughly doubles the rounds (work per round halves)."""
+
+    def measure():
+        return [
+            {
+                "participation": q,
+                "rounds_mean": _mean_rounds("faulty_push", N, participation_prob=q),
+            }
+            for q in PARTICIPATION
+        ]
+
+    rows = run_once(benchmark, measure)
+    baseline = rows[0]["rounds_mean"]
+    for row in rows:
+        row["slowdown"] = row["rounds_mean"] / baseline
+    print_table(f"E11 participation sweep (push, n={N})", rows)
+    assert rows[-1]["slowdown"] > 1.2
+    assert rows[-1]["slowdown"] < 6.0
+
+
+def test_e11_sampling_and_semantics_ablation(benchmark):
+    """Design ablations: without-replacement push sampling and sequential updates."""
+
+    def measure():
+        return [
+            {"variant": "push (paper)", "rounds_mean": _mean_rounds("push", N)},
+            {
+                "variant": "push without-replacement",
+                "rounds_mean": _mean_rounds("push", N, without_replacement=True),
+            },
+            {
+                "variant": "push sequential updates",
+                "rounds_mean": _mean_rounds("push", N, semantics=UpdateSemantics.SEQUENTIAL),
+            },
+            {"variant": "pull (paper)", "rounds_mean": _mean_rounds("pull", N)},
+            {
+                "variant": "pull sequential updates",
+                "rounds_mean": _mean_rounds("pull", N, semantics=UpdateSemantics.SEQUENTIAL),
+            },
+        ]
+
+    rows = run_once(benchmark, measure)
+    print_table(f"E11 sampling / semantics ablation (n={N})", rows)
+    by_name = {row["variant"]: row["rounds_mean"] for row in rows}
+    # All variants land within a small constant factor of the paper's process.
+    assert by_name["push without-replacement"] < 2.0 * by_name["push (paper)"]
+    assert by_name["push sequential updates"] < 2.0 * by_name["push (paper)"]
+    assert by_name["pull sequential updates"] < 2.0 * by_name["pull (paper)"]

@@ -1,0 +1,66 @@
+"""E12 — social-network evolution: diameter, clustering, and k-hop neighbourhood growth.
+
+The paper's Applications section argues the analysis predicts how
+second/third-degree neighbourhood sizes, diameter, and clustering evolve as
+members of a decentralised social network keep discovering contacts.  This
+benchmark regenerates those time series for the push and pull processes on
+scale-free and small-world starting networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.social.evolution import simulate_social_evolution
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+N = 96
+ROUNDS = 120
+EVERY = 30
+
+
+def _host(kind: str):
+    rng = np.random.default_rng(BENCH_SEED)
+    if kind == "barabasi_albert":
+        return gen.barabasi_albert_graph(N, 2, rng)
+    return gen.watts_strogatz_graph(N, 4, 0.1, rng)
+
+
+@pytest.mark.parametrize("process", ["push", "pull"])
+@pytest.mark.parametrize("family", ["barabasi_albert", "watts_strogatz"])
+def test_e12_evolution_series(benchmark, process, family):
+    """Edges and clustering rise, diameter falls, 2nd/3rd-degree neighbourhoods swell then shrink."""
+    snaps = run_once(
+        benchmark,
+        simulate_social_evolution,
+        _host(family),
+        process=process,
+        rounds=ROUNDS,
+        every=EVERY,
+        seed=BENCH_SEED,
+        probe_nodes=16,
+    )
+    rows = [
+        {
+            "round": s.round_index,
+            "edges": s.num_edges,
+            "mean_degree": s.mean_degree,
+            "diameter": -1 if s.diameter is None else s.diameter,
+            "clustering": s.average_clustering,
+            "2nd_degree": s.mean_second_degree,
+            "3rd_degree": s.mean_third_degree,
+        }
+        for s in snaps
+    ]
+    print_table(f"E12 social evolution ({process} on {family}, n={N})", rows)
+    first, last = snaps[0], snaps[-1]
+    assert last.num_edges > first.num_edges
+    assert last.mean_degree > first.mean_degree
+    # Direct contacts eventually absorb the 2-hop neighbourhood: by the end
+    # of the run the first-degree neighbourhood dominates the second.
+    assert last.mean_degree > last.mean_second_degree or last.num_edges == N * (N - 1) // 2
+    if first.diameter is not None and last.diameter is not None:
+        assert last.diameter <= first.diameter

@@ -1,0 +1,74 @@
+"""E3 — Theorems 9 and 13: Ω(n log k) lower bound with k missing edges.
+
+Two workloads:
+
+* dense starts — the complete graph minus a matching of k edges — where the
+  lower bound says the last missing edges still take Ω(n log k) rounds;
+* sparse starts (cycles) where k = Θ(n²) and the bound becomes Ω(n log n).
+
+The benchmark reports rounds / (n ln k) per size; the Ω-shape check is that
+the ratio does not collapse as n grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.lower_bounds import lower_bound_ratio_check
+from repro.graphs import generators as gen
+from repro.simulation import bounds
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+SIZES = [16, 32, 64, 96]
+
+
+@pytest.mark.parametrize("process", ["push", "pull"])
+def test_e3_dense_start_missing_matching(benchmark, process):
+    """Complete graph minus a matching of n/4 edges: rounds / (n ln k) stays bounded below."""
+
+    def factory(n: int):
+        return gen.complete_minus_matching(n, max(1, n // 4))
+
+    check = run_once(
+        benchmark,
+        lower_bound_ratio_check,
+        process,
+        instance_factory=factory,
+        sizes=SIZES,
+        bound=lambda n: bounds.n_log_k(n, max(1.0, n / 4.0)),
+        trials=3,
+        seed=BENCH_SEED,
+    )
+    rows = [
+        {"n": n, "mean_rounds": r, "rounds/(n ln k)": ratio}
+        for n, r, ratio in zip(check.sizes, check.mean_rounds, check.ratios)
+    ]
+    print_table(f"E3 dense-start lower bound ({process})", rows)
+    print(f"pure power-law exponent: {check.power_fit_exponent:.2f}")
+    assert check.non_vanishing
+    assert check.power_fit_exponent > 0.6
+
+
+@pytest.mark.parametrize("process", ["push", "pull"])
+def test_e3_sparse_start_n_log_n(benchmark, process):
+    """Sparse (cycle) starts: measured rounds stay above a constant times n ln n."""
+    check = run_once(
+        benchmark,
+        lower_bound_ratio_check,
+        process,
+        instance_factory=gen.cycle_graph,
+        sizes=SIZES,
+        bound=bounds.n_log_n,
+        trials=3,
+        seed=BENCH_SEED + 1,
+    )
+    rows = [
+        {"n": n, "mean_rounds": r, "rounds/(n ln n)": ratio}
+        for n, r, ratio in zip(check.sizes, check.mean_rounds, check.ratios)
+    ]
+    print_table(f"E3 sparse-start lower bound ({process})", rows)
+    assert check.non_vanishing
+    assert min(check.ratios) > 0.2

@@ -1,0 +1,78 @@
+"""E4 — Figure 1(c): non-monotonicity of the expected convergence time.
+
+Regenerates the figure's comparison with exact (absorbing-Markov-chain)
+expectations cross-checked by Monte-Carlo simulation:
+
+* the 4-edge graph (triangle + pendant) versus its 3-edge triangle
+  subgraph, exactly as the caption states;
+* the same-node-set pair (4-cycle vs diamond) where adding one edge
+  strictly increases the expected convergence time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.nonmonotonicity import (
+    exact_expected_convergence_time,
+    monte_carlo_expected_convergence_time,
+    nonmonotonicity_gap,
+)
+from repro.graphs import generators as gen
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+
+def test_e4_exact_gaps(benchmark):
+    """Exact expected convergence times for both non-monotone comparisons."""
+    gap = run_once(benchmark, nonmonotonicity_gap, "push")
+    rows = [
+        {"graph": "fig1c 4-edge (triangle+pendant)", "exact_E[T]": gap["fig1c_four_edge"]},
+        {"graph": "fig1c 3-edge subgraph (triangle)", "exact_E[T]": gap["fig1c_triangle"]},
+        {"graph": "cycle C4", "exact_E[T]": gap["pair_cycle4"]},
+        {"graph": "diamond (C4 + chord)", "exact_E[T]": gap["pair_diamond"]},
+    ]
+    print_table("E4 exact expected convergence times (push)", rows)
+    print(f"fig1c gap = {gap['fig1c_gap']:.4f}, same-node-set gap = {gap['pair_gap']:.4f}")
+    assert gap["fig1c_gap"] > 0
+    assert gap["pair_gap"] > 0
+
+
+def test_e4_monte_carlo_cross_check(benchmark):
+    """Monte-Carlo estimates agree with the exact values within a few standard errors."""
+
+    def measure():
+        results = {}
+        for name, graph in [
+            ("paw", gen.fig1c_nonmonotone()),
+            ("cycle4", gen.nonmonotone_supergraph_pair()[0]),
+            ("diamond", gen.nonmonotone_supergraph_pair()[1]),
+        ]:
+            exact = exact_expected_convergence_time(graph, "push")
+            mc, sem = monte_carlo_expected_convergence_time(
+                graph, "push", trials=3000, seed=BENCH_SEED
+            )
+            results[name] = (exact, mc, sem)
+        return results
+
+    results = run_once(benchmark, measure)
+    rows = [
+        {"graph": name, "exact": e, "monte_carlo": m, "stderr": s}
+        for name, (e, m, s) in results.items()
+    ]
+    print_table("E4 exact vs Monte-Carlo (push, 3000 trials)", rows)
+    for name, (exact, mc, sem) in results.items():
+        assert abs(exact - mc) < max(5 * sem, 0.2), f"{name}: exact {exact} vs MC {mc}"
+
+
+def test_e4_pull_process_gap(benchmark):
+    """The same non-monotone comparison for the two-hop walk."""
+    gap = run_once(benchmark, nonmonotonicity_gap, "pull")
+    print_table(
+        "E4 pull-process expectations",
+        [
+            {"graph": "fig1c 4-edge", "exact_E[T]": gap["fig1c_four_edge"]},
+            {"graph": "fig1c triangle", "exact_E[T]": gap["fig1c_triangle"]},
+        ],
+    )
+    assert gap["fig1c_gap"] > 0

@@ -1,0 +1,57 @@
+"""E6 — Theorem 14 (lower bound): the weakly connected Ω(n² log n) construction.
+
+Runs the directed two-hop walk on the paper's explicit weakly connected
+instance (Appendix D) and reports rounds normalised by n², the Ω-shape
+check being that this ratio does not collapse as n grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lower_bounds import lower_bound_ratio_check
+from repro.graphs import directed_generators as dgen
+from repro.simulation import bounds
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+SIZES = [16, 32, 48, 64]
+
+
+def test_e6_weakly_connected_lower_bound(benchmark):
+    """The Theorem-14 instance needs rounds growing like n² (up to log factors)."""
+    check = run_once(
+        benchmark,
+        lower_bound_ratio_check,
+        "directed_pull",
+        instance_factory=dgen.thm14_weak_lower_bound,
+        sizes=SIZES,
+        bound=bounds.n_squared,
+        trials=3,
+        seed=BENCH_SEED,
+        min_fraction_of_first=0.1,
+    )
+    rows = [
+        {"n": n, "mean_rounds": r, "rounds/n^2": ratio}
+        for n, r, ratio in zip(check.sizes, check.mean_rounds, check.ratios)
+    ]
+    print_table("E6 weakly connected lower-bound instance", rows)
+    print(f"pure power-law exponent: {check.power_fit_exponent:.2f}")
+    # Clearly superlinear growth, consistent with the quadratic lower bound.
+    assert check.power_fit_exponent > 1.4
+    assert check.non_vanishing
+
+
+def test_e6_only_shortcut_edges_are_missing(benchmark):
+    """Sanity series: the construction's closure deficit is exactly the n/4 shortcuts."""
+
+    def measure():
+        rows = []
+        for n in SIZES:
+            g = dgen.thm14_weak_lower_bound(n)
+            missing = dgen.thm14_missing_edges(n)
+            rows.append({"n": n, "initial_edges": g.number_of_edges(), "missing_shortcuts": len(missing)})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print_table("E6 instance structure", rows)
+    for row, n in zip(rows, SIZES):
+        assert row["missing_shortcuts"] == n // 4

@@ -1,0 +1,78 @@
+"""E7 — Theorem 15: the strongly connected Ω(n²) construction (Figures 3/4).
+
+Runs the directed two-hop walk on the paper's strongly connected instance,
+reports rounds / n², and contrasts the directed instance with undirected
+processes at the same size (the paper's "directionality greatly impedes
+discovery" message).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lower_bounds import lower_bound_ratio_check
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+from repro.simulation import bounds
+from repro.simulation.engine import measure_convergence_rounds
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+SIZES = [8, 12, 16, 24, 32]
+
+
+def test_e7_strongly_connected_lower_bound(benchmark):
+    """Rounds on the Theorem-15 instance grow at least quadratically in n."""
+    check = run_once(
+        benchmark,
+        lower_bound_ratio_check,
+        "directed_pull",
+        instance_factory=dgen.thm15_strong_lower_bound,
+        sizes=SIZES,
+        bound=bounds.n_squared,
+        trials=3,
+        seed=BENCH_SEED,
+        min_fraction_of_first=0.1,
+    )
+    rows = [
+        {"n": n, "mean_rounds": r, "rounds/n^2": ratio}
+        for n, r, ratio in zip(check.sizes, check.mean_rounds, check.ratios)
+    ]
+    print_table("E7 strongly connected lower-bound instance (Fig 3/4)", rows)
+    print(f"pure power-law exponent: {check.power_fit_exponent:.2f}")
+    assert check.power_fit_exponent > 1.2
+    assert all(r > 0 for r in check.ratios)
+
+
+def test_e7_directed_vs_undirected_separation(benchmark):
+    """At equal sizes the directed instance takes far longer than undirected push/pull."""
+
+    def measure():
+        rows = []
+        for n in [16, 24, 32]:
+            directed = measure_convergence_rounds(
+                "directed_pull",
+                dgen.thm15_strong_lower_bound(n),
+                rng=BENCH_SEED,
+                copy_graph=False,
+            ).rounds
+            push = measure_convergence_rounds(
+                "push", gen.cycle_graph(n), rng=BENCH_SEED, copy_graph=False
+            ).rounds
+            pull = measure_convergence_rounds(
+                "pull", gen.cycle_graph(n), rng=BENCH_SEED, copy_graph=False
+            ).rounds
+            rows.append(
+                {
+                    "n": n,
+                    "directed_thm15_rounds": directed,
+                    "undirected_push_rounds": push,
+                    "undirected_pull_rounds": pull,
+                    "directed/undirected": directed / max(push, pull),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print_table("E7 directed vs undirected separation", rows)
+    # The separation widens with n and the directed instance is always slower.
+    assert all(row["directed_thm15_rounds"] > row["undirected_pull_rounds"] for row in rows)
+    assert rows[-1]["directed/undirected"] > rows[0]["directed/undirected"] * 0.8

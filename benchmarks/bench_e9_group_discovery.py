@@ -1,0 +1,76 @@
+"""E9 — subset/group discovery: O(k log² k) rounds, independent of the host size.
+
+The paper's corollary for social groups: a connected induced subgraph of k
+nodes completes among themselves in O(k log² k) rounds regardless of the
+host network.  The benchmark sweeps the group size k inside a fixed host
+and sweeps the host size at a fixed k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.social.group_discovery import discover_group
+from repro.simulation import stats
+
+from _bench_helpers import BENCH_SEED, print_table, run_once
+
+HOST_N = 256
+GROUP_SIZES = [8, 16, 32, 48]
+HOST_SIZES = [64, 128, 256]
+FIXED_K = 16
+
+
+@pytest.mark.parametrize("process", ["push", "pull"])
+def test_e9_rounds_scale_with_group_size(benchmark, process):
+    """Rounds grow with k roughly like k log² k while the host stays fixed."""
+
+    def measure():
+        host = gen.barabasi_albert_graph(HOST_N, 3, np.random.default_rng(BENCH_SEED))
+        rows = []
+        for k in GROUP_SIZES:
+            trials = [
+                discover_group(host, k=k, process=process, seed=BENCH_SEED + t).rounds
+                for t in range(3)
+            ]
+            rows.append({"k": k, "rounds_mean": float(np.mean(trials))})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    for row in rows:
+        k = row["k"]
+        row["rounds/(k ln^2 k)"] = row["rounds_mean"] / (k * math.log(k) ** 2)
+    print_table(f"E9 group discovery vs group size ({process}, host n={HOST_N})", rows)
+    ks = [row["k"] for row in rows]
+    means = [row["rounds_mean"] for row in rows]
+    fit = stats.fit_power_law(ks, means)
+    print(f"pure power-law exponent in k: {fit.exponent:.2f}")
+    # Growth is governed by k (roughly linear-with-logs), not by the host size.
+    assert 0.7 < fit.exponent < 2.2
+    assert all(row["rounds/(k ln^2 k)"] < 5.0 for row in rows)
+
+
+def test_e9_rounds_independent_of_host_size(benchmark):
+    """With k fixed, growing the host network does not change the convergence scale."""
+
+    def measure():
+        rows = []
+        for host_n in HOST_SIZES:
+            host = gen.barabasi_albert_graph(host_n, 3, np.random.default_rng(BENCH_SEED))
+            trials = [
+                discover_group(host, k=FIXED_K, process="push", seed=BENCH_SEED + t).rounds
+                for t in range(3)
+            ]
+            rows.append({"host_n": host_n, "k": FIXED_K, "rounds_mean": float(np.mean(trials))})
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print_table("E9 group discovery vs host size (push, k=16)", rows)
+    means = [row["rounds_mean"] for row in rows]
+    # Quadrupling the host changes the group's convergence time by at most ~3x
+    # (it would grow ~20x if the host size governed it).
+    assert max(means) / min(means) < 3.0

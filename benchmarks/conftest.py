@@ -1,0 +1,18 @@
+"""Benchmark-suite conftest: exposes the shared root seed as a fixture."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_helpers import BENCH_SEED  # noqa: E402
+
+
+@pytest.fixture
+def bench_seed() -> int:
+    """The shared root seed for all benchmark measurements."""
+    return BENCH_SEED

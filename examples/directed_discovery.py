@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Directed discovery: why directionality makes gossip discovery dramatically slower.
+
+The paper's §5 shows the two-hop walk needs Θ(n² log n) rounds on directed
+graphs, versus O(n log² n) undirected — the information can only flow along
+edge directions, so "hard" cuts appear.  This example runs the directed
+two-hop walk on:
+
+* a bidirected cycle (effectively undirected),
+* a random strongly connected digraph,
+* the paper's Theorem-15 lower-bound construction (Figures 3/4),
+
+and prints the rounds-to-closure side by side with the undirected pull
+process at the same sizes.
+
+Run with::
+
+    python examples/directed_discovery.py [--sizes 8 16 24] [--seed 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+from repro.simulation.engine import measure_convergence_rounds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 24])
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    print("Directed two-hop walk: rounds until the transitive closure is reached")
+    print("-" * 86)
+    print(
+        f"{'n':>4s} {'bidirected cycle':>17s} {'random strong':>14s} "
+        f"{'thm15 (Fig 3/4)':>16s} {'undirected pull':>16s}"
+    )
+    for n in args.sizes:
+        rng = np.random.default_rng(args.seed)
+        rows = []
+        for name, graph in [
+            ("bidirected", dgen.bidirected_cycle(n)),
+            ("random_strong", dgen.random_strongly_connected_digraph(n, 0.1, rng)),
+            ("thm15", dgen.thm15_strong_lower_bound(n if n % 2 == 0 else n + 1)),
+        ]:
+            result = measure_convergence_rounds(
+                "directed_pull", graph, rng=args.seed, copy_graph=False
+            )
+            rows.append(result.rounds)
+        undirected = measure_convergence_rounds(
+            "pull", gen.cycle_graph(n), rng=args.seed, copy_graph=False
+        ).rounds
+        print(
+            f"{n:>4d} {rows[0]:>17d} {rows[1]:>14d} {rows[2]:>16d} {undirected:>16d}"
+        )
+    print()
+    print(
+        "The Theorem-15 construction keeps every out-degree at n/2 while hiding a\n"
+        "single directed path the process must discover cut by cut, which is why\n"
+        "its rounds blow up roughly quadratically while the undirected process\n"
+        "stays near-linear."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Group discovery: members of a social group find each other in O(k log² k) rounds.
+
+The paper's corollary: if k nodes induce a connected subgraph (a club, an
+alumni group), running the gossip process among themselves completes the
+group in O(k log² k) rounds regardless of how big the surrounding network
+is.  This example embeds groups of growing size in a large host network
+and shows that the convergence time tracks the group size, not the host.
+
+Run with::
+
+    python examples/group_discovery.py [--host-n 512] [--groups 8 16 32 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+import numpy as np
+
+from repro.graphs import generators
+from repro.social.group_discovery import discover_group
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host-n", type=int, default=512, help="host network size")
+    parser.add_argument("--groups", type=int, nargs="+", default=[8, 16, 32, 64])
+    parser.add_argument("--process", choices=["push", "pull"], default="push")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    host = generators.barabasi_albert_graph(args.host_n, 3, np.random.default_rng(args.seed))
+    print(
+        f"Group discovery inside a host network of {args.host_n} nodes "
+        f"({args.process} process)"
+    )
+    print("-" * 66)
+    print(f"{'group size k':>13s} {'rounds':>8s} {'rounds / (k ln^2 k)':>21s} {'complete':>9s}")
+    for k in args.groups:
+        result = discover_group(host, k=k, process=args.process, seed=args.seed)
+        print(
+            f"{result.group_size:>13d} {result.rounds:>8d} "
+            f"{result.rounds_over_k_log2_k:>21.3f} {str(result.converged):>9s}"
+        )
+    print()
+    print(
+        "The normalised column stays roughly flat: the time for a group to fully\n"
+        "discover itself is governed by the group size k alone — the other\n"
+        f"{args.host_n} members of the network never slow it down."
+    )
+
+
+if __name__ == "__main__":
+    main()

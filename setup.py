@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only
+so that ``pip install -e . --no-use-pep517`` (the legacy editable path)
+works on environments without the ``wheel`` package installed.
+"""
+
+from setuptools import setup
+
+setup()

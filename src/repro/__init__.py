@@ -1,0 +1,60 @@
+"""repro — a reproduction of "Discovery through Gossip" (SPAA 2012).
+
+The package implements the paper's two gossip-based discovery processes
+(push/triangulation and pull/two-hop walk), their directed variant, the
+baseline resource-discovery algorithms they are compared against, and the
+full experiment harness that reproduces every theorem's empirical shape.
+
+Quickstart
+----------
+>>> from repro import PushDiscovery, generators
+>>> graph = generators.cycle_graph(32)
+>>> process = PushDiscovery(graph, rng=0)
+>>> result = process.run_to_convergence()
+>>> result.converged, graph.is_complete()
+(True, True)
+
+Subpackages
+-----------
+``repro.graphs``      dynamic graph substrate and generators
+``repro.core``        the paper's processes (push, pull, directed)
+``repro.baselines``   Name Dropper, Random Pointer Jump, flooding
+``repro.network``     message-passing protocol implementations
+``repro.simulation``  experiment specs, runners, statistics, bounds
+``repro.analysis``    scaling fits, non-monotonicity, degree growth
+``repro.social``      social-evolution and group-discovery scenarios
+"""
+
+from repro.core.push import PushDiscovery
+from repro.core.pull import PullDiscovery
+from repro.core.directed import DirectedTwoHopWalk
+from repro.core.base import DiscoveryProcess, RoundResult, RunResult, UpdateSemantics
+from repro.core.subset import SubsetDiscovery
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs import generators, directed_generators, properties
+from repro.baselines import NameDropper, RandomPointerJump, NeighborhoodFlooding
+from repro.simulation.engine import make_process, measure_convergence_rounds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PushDiscovery",
+    "PullDiscovery",
+    "DirectedTwoHopWalk",
+    "SubsetDiscovery",
+    "DiscoveryProcess",
+    "RoundResult",
+    "RunResult",
+    "UpdateSemantics",
+    "DynamicGraph",
+    "DynamicDiGraph",
+    "generators",
+    "directed_generators",
+    "properties",
+    "NameDropper",
+    "RandomPointerJump",
+    "NeighborhoodFlooding",
+    "make_process",
+    "measure_convergence_rounds",
+]

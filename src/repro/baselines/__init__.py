@@ -1,0 +1,13 @@
+"""Baseline resource-discovery algorithms the paper compares against.
+
+These are the prior-work algorithms referenced in §1: they complete in a
+polylogarithmic number of rounds but send Θ(n)-size messages, whereas the
+paper's gossip processes use O(log n)-bit messages and pay with more
+rounds.  Experiment E10 measures both axes (rounds and total bits).
+"""
+
+from repro.baselines.name_dropper import NameDropper
+from repro.baselines.pointer_jump import RandomPointerJump
+from repro.baselines.flooding import NeighborhoodFlooding
+
+__all__ = ["NameDropper", "RandomPointerJump", "NeighborhoodFlooding"]

@@ -1,0 +1,71 @@
+"""Deterministic neighbourhood flooding — the round-optimal, bandwidth-hungry extreme.
+
+Each round every node sends its *entire* known set to *all* of its current
+neighbours, and everybody merges everything they receive.  Knowledge
+squares the reachable radius every round, so the process completes in
+⌈log₂ diameter⌉ + O(1) rounds — the fewest rounds any local algorithm can
+hope for — but the per-round traffic is Θ(n · m) IDs.  It anchors the
+"rounds vs bits" trade-off plot of experiment E10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.graphs.adjacency import DynamicGraph
+
+__all__ = ["NeighborhoodFlooding"]
+
+
+class NeighborhoodFlooding(DiscoveryProcess):
+    """Full-neighbourhood flooding on an undirected graph."""
+
+    MESSAGES_PER_NODE = 1  # nominal; real accounting happens in step()
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        rng: Union[np.random.Generator, int, None] = None,
+        semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+    ) -> None:
+        if not isinstance(graph, DynamicGraph):
+            raise TypeError("NeighborhoodFlooding requires an undirected DynamicGraph")
+        super().__init__(graph, rng, semantics)
+
+    def propose(self, node: int) -> Optional[Tuple[int, int]]:  # pragma: no cover - unused
+        raise NotImplementedError("NeighborhoodFlooding overrides step() and never calls propose()")
+
+    def step(self) -> RoundResult:
+        """One synchronous flooding round."""
+        result = RoundResult(round_index=self.round_index)
+        # Snapshot every node's knowledge (its neighbour set plus itself) first.
+        knowledge: List[List[int]] = [list(self.graph.neighbors(u)) + [u] for u in self.graph.nodes()]
+        recipients: List[List[int]] = [list(self.graph.neighbors(u)) for u in self.graph.nodes()]
+        for u in self.graph.nodes():
+            payload = knowledge[u]
+            for v in recipients[u]:
+                result.messages_sent += 1
+                result.bits_sent += len(payload) * self._id_bits
+                for w in payload:
+                    if w == v:
+                        continue
+                    result.proposed_edges.append((v, w))
+                    if self.graph.add_edge(v, w):
+                        result.added_edges.append((v, w))
+        self.round_index += 1
+        self.total_edges_added += result.num_added
+        self.total_messages += result.messages_sent
+        self.total_bits += result.bits_sent
+        return result
+
+    def is_converged(self) -> bool:
+        """Flooding also converges to the complete graph."""
+        return self.graph.is_complete()
+
+    def default_round_cap(self) -> int:
+        """Flooding needs only O(log n) rounds; cap generously above that."""
+        n = max(self.graph.n, 2)
+        return int(20 * (np.log2(n) + 1)) + 20

@@ -1,0 +1,102 @@
+"""The Name Dropper algorithm of Harchol-Balter, Leighton and Lewin (PODC 1999).
+
+As described in the paper's introduction: "in each round, each node chooses
+a random neighbor and sends all the IP addresses it knows".  The receiver
+merges the sender's whole neighbour set into its own.  Name Dropper
+converges in O(log² n) rounds but each message carries up to Θ(n) node IDs
+— exactly the bandwidth cost the gossip processes avoid.
+
+We implement it on the same :class:`DynamicGraph` substrate and with the
+same round/metric interface as the gossip processes so the baselines plug
+into the identical experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.graphs.adjacency import DynamicGraph
+
+__all__ = ["NameDropper"]
+
+
+class NameDropper(DiscoveryProcess):
+    """Name Dropper: push your entire known set to one random neighbour per round.
+
+    Knowledge is represented directly by the evolving graph: node ``u``
+    "knows" exactly its current neighbours (plus itself).  When ``u``
+    name-drops to ``v``, edges ``(v, w)`` are added for every ``w`` known to
+    ``u`` (including ``(v, u)`` itself, which is already present).
+    """
+
+    MESSAGES_PER_NODE = 1
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        rng: Union[np.random.Generator, int, None] = None,
+        semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+    ) -> None:
+        if not isinstance(graph, DynamicGraph):
+            raise TypeError("NameDropper requires an undirected DynamicGraph")
+        super().__init__(graph, rng, semantics)
+
+    # The base-class single-edge propose/step machinery is replaced because a
+    # Name Dropper round transfers a whole set; we override step() directly.
+    def propose(self, node: int) -> Optional[Tuple[int, int]]:  # pragma: no cover - unused
+        raise NotImplementedError("NameDropper overrides step() and never calls propose()")
+
+    def step(self) -> RoundResult:
+        """One synchronous Name Dropper round."""
+        result = RoundResult(round_index=self.round_index)
+        # Sample all targets and payloads against the round-start graph.
+        actions: List[Tuple[int, int, List[int]]] = []
+        for u in self.graph.nodes():
+            nbrs = self.graph.neighbors(u)
+            if not nbrs:
+                continue
+            v = self.graph.random_neighbor(u, self.rng)
+            payload = list(nbrs) + [u]
+            actions.append((u, v, payload))
+        if self.semantics is UpdateSemantics.SEQUENTIAL:
+            # Sequential mode re-samples payloads as the graph evolves inside the round.
+            actions_iter = []
+            for u in self.graph.nodes():
+                nbrs = self.graph.neighbors(u)
+                if not nbrs:
+                    continue
+                v = self.graph.random_neighbor(u, self.rng)
+                payload = list(nbrs) + [u]
+                actions_iter.append((u, v, payload))
+                self._apply_action(u, v, payload, result)
+        else:
+            for u, v, payload in actions:
+                self._apply_action(u, v, payload, result)
+        self.round_index += 1
+        self.total_edges_added += result.num_added
+        self.total_messages += result.messages_sent
+        self.total_bits += result.bits_sent
+        return result
+
+    def _apply_action(self, u: int, v: int, payload: List[int], result: RoundResult) -> None:
+        result.messages_sent += 1
+        result.bits_sent += len(payload) * self._id_bits
+        for w in payload:
+            if w == v:
+                continue
+            result.proposed_edges.append((v, w))
+            if self.graph.add_edge(v, w):
+                result.added_edges.append((v, w))
+
+    def is_converged(self) -> bool:
+        """Name Dropper also converges to the complete graph."""
+        return self.graph.is_complete()
+
+    def default_round_cap(self) -> int:
+        """Name Dropper needs only O(log² n) rounds; cap generously above that."""
+        n = max(self.graph.n, 2)
+        log_n = float(np.log2(n)) + 1.0
+        return int(100 * log_n * log_n) + 50

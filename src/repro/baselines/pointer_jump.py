@@ -1,0 +1,99 @@
+"""The Random Pointer Jump algorithm (referenced in the paper's §5).
+
+"Each node gets to know all the neighbors of a random neighbor in each
+step": node ``u`` picks a uniformly random (out-)neighbour ``v`` and copies
+``v``'s entire (out-)neighbour list into its own.  Like Name Dropper the
+messages are Θ(n) IDs in the worst case, and on directed graphs the
+Harchol-Balter et al. example gives it an Ω(n) round lower bound.
+
+We provide both the directed form (the one discussed in the paper, used
+as a baseline for the directed two-hop walk experiments) and an undirected
+form for the undirected comparison sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs.closure import transitive_closure_edges
+
+__all__ = ["RandomPointerJump"]
+
+
+class RandomPointerJump(DiscoveryProcess):
+    """Random Pointer Jump on an undirected or directed graph.
+
+    * Undirected graph: ``u`` learns (connects to) every current neighbour
+      of a random neighbour ``v``; converges to the complete graph.
+    * Directed graph: ``u`` adds out-edges to all out-neighbours of a random
+      out-neighbour ``v``; converges to the transitive closure of ``G_0``.
+    """
+
+    MESSAGES_PER_NODE = 1
+
+    def __init__(
+        self,
+        graph: Union[DynamicGraph, DynamicDiGraph],
+        rng: Union[np.random.Generator, int, None] = None,
+        semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+    ) -> None:
+        super().__init__(graph, rng, semantics)
+        self._directed = isinstance(graph, DynamicDiGraph)
+        if self._directed:
+            closure = transitive_closure_edges(graph)
+            self._missing = {e for e in closure if not graph.has_edge(*e)}
+        else:
+            self._missing = None
+
+    def propose(self, node: int) -> Optional[Tuple[int, int]]:  # pragma: no cover - unused
+        raise NotImplementedError("RandomPointerJump overrides step() and never calls propose()")
+
+    def _neighbors(self, u: int) -> List[int]:
+        if self._directed:
+            return list(self.graph.out_neighbors(u))
+        return list(self.graph.neighbors(u))
+
+    def step(self) -> RoundResult:
+        """One synchronous Random Pointer Jump round."""
+        result = RoundResult(round_index=self.round_index)
+        actions: List[Tuple[int, int, List[int]]] = []
+        for u in self.graph.nodes():
+            nbrs = self._neighbors(u)
+            if not nbrs:
+                continue
+            v = nbrs[int(self.rng.integers(len(nbrs)))]
+            payload = self._neighbors(v)
+            actions.append((u, v, payload))
+        for u, v, payload in actions:
+            result.messages_sent += 2  # request + bulk reply
+            result.bits_sent += (1 + len(payload)) * self._id_bits
+            for w in payload:
+                if w == u:
+                    continue
+                result.proposed_edges.append((u, w))
+                added = self.graph.add_edge(u, w)
+                if added:
+                    result.added_edges.append((u, w))
+                    if self._missing is not None:
+                        self._missing.discard((u, w))
+        self.round_index += 1
+        self.total_edges_added += result.num_added
+        self.total_messages += result.messages_sent
+        self.total_bits += result.bits_sent
+        return result
+
+    def is_converged(self) -> bool:
+        """Complete graph (undirected) or transitive closure (directed)."""
+        if self._directed:
+            return not self._missing
+        return self.graph.is_complete()
+
+    def default_round_cap(self) -> int:
+        """Pointer jump is Ω(n) on bad directed instances; cap at a large multiple of n log n."""
+        n = max(self.graph.n, 2)
+        log_n = float(np.log2(n)) + 1.0
+        return int(40 * n * log_n) + 100

@@ -1,0 +1,241 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage examples::
+
+    repro-gossip run --process push --family cycle --n 64 --trials 3 --seed 1
+    repro-gossip scaling --process pull --family erdos_renyi --sizes 16 32 64
+    repro-gossip nonmonotone
+    repro-gossip group --host-n 256 --k 24 --process push
+    repro-gossip directed --family thm15_strong --sizes 8 16 24
+
+Every subcommand prints a small aligned table to stdout; the benchmark
+harnesses under ``benchmarks/`` use the same underlying functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.nonmonotonicity import (
+    exact_expected_convergence_time,
+    monte_carlo_expected_convergence_time,
+)
+from repro.analysis.scaling import measure_scaling
+from repro.graphs import generators
+from repro.simulation import io as sim_io
+from repro.simulation.experiment import ExperimentSpec
+from repro.simulation.runner import run_trials, summarize_trials
+from repro.social.group_discovery import discover_group
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_table(rows: Sequence[Dict[str, object]], columns: Optional[List[str]] = None) -> None:
+    """Print a list of row dicts as an aligned plain-text table."""
+    if not rows:
+        print("(no results)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        formatted.append(
+            [
+                f"{row.get(c, ''):.4g}" if isinstance(row.get(c), float) else str(row.get(c, ""))
+                for c in columns
+            ]
+        )
+    widths = [max(len(r[i]) for r in formatted) for i in range(len(columns))]
+    for r in formatted:
+        print("  ".join(cell.ljust(width) for cell, width in zip(r, widths)))
+
+
+def _save_rows(rows, args) -> None:
+    """Persist result rows when ``--save`` was given (format chosen by extension)."""
+    path = getattr(args, "save", None)
+    if not path:
+        return
+    metadata = {
+        "command": args.command,
+        "seed": getattr(args, "seed", None),
+        "process": getattr(args, "process", None),
+    }
+    if str(path).endswith(".csv"):
+        sim_io.save_rows_csv(rows, path)
+    else:
+        sim_io.save_rows_json(rows, path, metadata=metadata)
+    print(f"\nsaved {len(rows)} rows to {path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        process=args.process,
+        family=args.family,
+        n=args.n,
+        trials=args.trials,
+        directed=args.directed,
+    )
+    trials = run_trials(spec, root_seed=args.seed)
+    summary = summarize_trials(trials)
+    summary_row = {"process": args.process, "family": args.family}
+    summary_row.update(summary)
+    _print_table([summary_row])
+    _save_rows([summary_row], args)
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    measurement = measure_scaling(
+        process=args.process,
+        family=args.family,
+        sizes=args.sizes,
+        trials=args.trials,
+        seed=args.seed,
+        directed=args.directed,
+        poly_exponent=args.poly_exponent,
+    )
+    _print_table(measurement.as_rows())
+    _save_rows(measurement.as_rows(), args)
+    print()
+    print(
+        f"power-law fit:     rounds ~ {measurement.power_fit.coefficient:.3g} "
+        f"* n^{measurement.power_fit.exponent:.3f} (R^2={measurement.power_fit.r_squared:.3f})"
+    )
+    print(
+        f"theorem-shape fit: rounds ~ {measurement.power_log_fit.coefficient:.3g} "
+        f"* n^{measurement.power_log_fit.poly_exponent:.1f} "
+        f"* (ln n)^{measurement.power_log_fit.log_exponent:.3f} "
+        f"(R^2={measurement.power_log_fit.r_squared:.3f})"
+    )
+    return 0
+
+
+def _cmd_nonmonotone(args: argparse.Namespace) -> int:
+    paw = generators.fig1c_nonmonotone()
+    triangle = generators.fig1c_triangle_subgraph()
+    cycle4, diamond = generators.nonmonotone_supergraph_pair()
+    rows = []
+    for name, graph in [
+        ("fig1c 4-edge (triangle+pendant)", paw),
+        ("fig1c 3-edge subgraph (triangle)", triangle),
+        ("cycle C4 (4 edges)", cycle4),
+        ("diamond = C4 + chord (5 edges)", diamond),
+    ]:
+        exact = exact_expected_convergence_time(graph, process=args.process)
+        mc, sem = monte_carlo_expected_convergence_time(
+            graph, process=args.process, trials=args.trials, seed=args.seed
+        )
+        rows.append(
+            {"graph": name, "exact_E[T]": exact, "monte_carlo_E[T]": mc, "mc_stderr": sem}
+        )
+    _print_table(rows)
+    print()
+    fig_gap = rows[0]["exact_E[T]"] - rows[1]["exact_E[T]"]
+    pair_gap = rows[3]["exact_E[T]"] - rows[2]["exact_E[T]"]
+    verdict_fig = "reproduced" if fig_gap > 0 else "NOT reproduced"
+    verdict_pair = "reproduced" if pair_gap > 0 else "NOT reproduced"
+    print(f"fig1c gap (4-edge minus 3-edge subgraph) = {fig_gap:.4f}  -> {verdict_fig}")
+    print(f"same-node-set gap (diamond minus C4)      = {pair_gap:.4f}  -> {verdict_pair}")
+    return 0
+
+
+def _cmd_group(args: argparse.Namespace) -> int:
+    host = generators.make_family(args.host_family, args.host_n)
+    result = discover_group(host, k=args.k, process=args.process, seed=args.seed)
+    _print_table(
+        [
+            {
+                "host_n": result.host_size,
+                "group_k": result.group_size,
+                "rounds": result.rounds,
+                "converged": result.converged,
+                "rounds/(k ln^2 k)": result.rounds_over_k_log2_k,
+            }
+        ]
+    )
+    return 0
+
+
+def _cmd_directed(args: argparse.Namespace) -> int:
+    measurement = measure_scaling(
+        process="directed_pull",
+        family=args.family,
+        sizes=args.sizes,
+        trials=args.trials,
+        seed=args.seed,
+        directed=True,
+        poly_exponent=2.0,
+    )
+    _print_table(measurement.as_rows())
+    print()
+    print(
+        f"power-law fit: rounds ~ {measurement.power_fit.coefficient:.3g} "
+        f"* n^{measurement.power_fit.exponent:.3f} (R^2={measurement.power_fit.r_squared:.3f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description="Run the 'Discovery through Gossip' reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one process on one graph family")
+    p_run.add_argument("--process", default="push")
+    p_run.add_argument("--family", default="cycle")
+    p_run.add_argument("--n", type=int, default=64)
+    p_run.add_argument("--trials", type=int, default=3)
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--directed", action="store_true")
+    p_run.add_argument("--save", default=None, help="write results to a .json or .csv file")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_scaling = sub.add_parser("scaling", help="convergence-time scaling sweep and fit")
+    p_scaling.add_argument("--process", default="push")
+    p_scaling.add_argument("--family", default="cycle")
+    p_scaling.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
+    p_scaling.add_argument("--trials", type=int, default=3)
+    p_scaling.add_argument("--seed", type=int, default=None)
+    p_scaling.add_argument("--directed", action="store_true")
+    p_scaling.add_argument("--poly-exponent", type=float, default=1.0)
+    p_scaling.add_argument("--save", default=None, help="write results to a .json or .csv file")
+    p_scaling.set_defaults(func=_cmd_scaling)
+
+    p_nm = sub.add_parser("nonmonotone", help="Figure 1(c) non-monotonicity check")
+    p_nm.add_argument("--process", default="push")
+    p_nm.add_argument("--trials", type=int, default=2000)
+    p_nm.add_argument("--seed", type=int, default=None)
+    p_nm.set_defaults(func=_cmd_nonmonotone)
+
+    p_group = sub.add_parser("group", help="group (subset) discovery scenario")
+    p_group.add_argument("--host-family", default="barabasi_albert")
+    p_group.add_argument("--host-n", type=int, default=256)
+    p_group.add_argument("--k", type=int, default=24)
+    p_group.add_argument("--process", default="push")
+    p_group.add_argument("--seed", type=int, default=None)
+    p_group.set_defaults(func=_cmd_group)
+
+    p_dir = sub.add_parser("directed", help="directed two-hop walk scaling sweep")
+    p_dir.add_argument("--family", default="random_strong")
+    p_dir.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 24])
+    p_dir.add_argument("--trials", type=int, default=3)
+    p_dir.add_argument("--seed", type=int, default=None)
+    p_dir.set_defaults(func=_cmd_directed)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The paper's contribution: gossip-based discovery processes on dynamic graphs.
+
+* :class:`repro.core.push.PushDiscovery` — the triangulation (push) process.
+* :class:`repro.core.pull.PullDiscovery` — the two-hop walk (pull) process.
+* :class:`repro.core.directed.DirectedTwoHopWalk` — the directed two-hop walk.
+* :mod:`repro.core.subset` — group discovery restricted to an induced subgraph.
+* :mod:`repro.core.variants` — robustness ablations (edge failures, partial
+  participation, churn) from the paper's conclusion.
+"""
+
+from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.core.push import PushDiscovery
+from repro.core.pull import PullDiscovery
+from repro.core.directed import DirectedTwoHopWalk
+from repro.core.convergence import (
+    complete_graph_reached,
+    closure_reached,
+    min_degree_reached,
+    edge_count_reached,
+)
+from repro.core.metrics import MetricsRecorder, RoundMetrics
+from repro.core.subset import SubsetDiscovery
+from repro.core.variants import FaultyPushDiscovery, FaultyPullDiscovery, ChurnModel
+from repro.core.scheduler import (
+    ActivationSchedule,
+    FullActivation,
+    BernoulliActivation,
+    FixedSubsetActivation,
+    RoundRobinActivation,
+    PoissonLikeActivation,
+    ScheduledProcess,
+)
+
+__all__ = [
+    "ActivationSchedule",
+    "FullActivation",
+    "BernoulliActivation",
+    "FixedSubsetActivation",
+    "RoundRobinActivation",
+    "PoissonLikeActivation",
+    "ScheduledProcess",
+    "DiscoveryProcess",
+    "RoundResult",
+    "UpdateSemantics",
+    "PushDiscovery",
+    "PullDiscovery",
+    "DirectedTwoHopWalk",
+    "SubsetDiscovery",
+    "FaultyPushDiscovery",
+    "FaultyPullDiscovery",
+    "ChurnModel",
+    "MetricsRecorder",
+    "RoundMetrics",
+    "complete_graph_reached",
+    "closure_reached",
+    "min_degree_reached",
+    "edge_count_reached",
+]

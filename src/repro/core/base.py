@@ -1,0 +1,296 @@
+"""Process interface and the synchronous round engine.
+
+The paper's model is synchronous: in round ``t`` every node acts on the
+*same* snapshot ``G_t`` and all added edges appear together in ``G_{t+1}``.
+:class:`DiscoveryProcess` implements that contract.  Because the graphs
+are append-only and proposals are sampled before any edge is applied, the
+synchronous semantics is achieved without copying the graph: a round
+first collects every node's proposed edge(s) and only then applies them.
+
+A ``sequential`` update mode is provided as an ablation (nodes act in index
+order and see edges added earlier in the same round) — the paper's proofs
+are for the synchronous mode, and experiment E1/E2 variants measure the
+difference empirically.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+
+__all__ = ["UpdateSemantics", "RoundResult", "RunResult", "DiscoveryProcess"]
+
+GraphLike = Union[DynamicGraph, DynamicDiGraph]
+Edge = Tuple[int, int]
+
+
+class UpdateSemantics(str, enum.Enum):
+    """When edges proposed during a round become visible.
+
+    ``SYNCHRONOUS``
+        All proposals are sampled against the round-start graph ``G_t`` and
+        applied together afterwards (the paper's model).
+    ``SEQUENTIAL``
+        Nodes act in index order and immediately apply their edge, so later
+        nodes in the same round can already exploit it (ablation).
+    """
+
+    SYNCHRONOUS = "synchronous"
+    SEQUENTIAL = "sequential"
+
+
+@dataclass
+class RoundResult:
+    """Outcome of a single round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based index of the round that was executed.
+    proposed_edges:
+        Every edge proposed by some node this round (including duplicates
+        and already-present edges), in node order.  Length equals the
+        number of participating nodes for single-proposal processes.
+    added_edges:
+        The subset of proposals that were genuinely new edges.
+    messages_sent:
+        Number of protocol messages this round (for bit accounting).
+    bits_sent:
+        Total message payload in bits, assuming ``ceil(log2 n)``-bit node IDs.
+    """
+
+    round_index: int
+    proposed_edges: List[Edge] = field(default_factory=list)
+    added_edges: List[Edge] = field(default_factory=list)
+    messages_sent: int = 0
+    bits_sent: int = 0
+
+    @property
+    def num_added(self) -> int:
+        """Number of new edges created this round."""
+        return len(self.added_edges)
+
+
+@dataclass
+class RunResult:
+    """Outcome of running a process until convergence or a round limit.
+
+    Attributes
+    ----------
+    rounds:
+        Number of rounds executed.
+    converged:
+        True when the stopping predicate was satisfied (rather than the
+        round limit being hit).
+    total_edges_added:
+        Total number of new edges created over the run.
+    total_messages:
+        Total protocol messages over the run.
+    total_bits:
+        Total message payload bits over the run.
+    history:
+        Optional per-round results (present when ``record_history=True``).
+    """
+
+    rounds: int
+    converged: bool
+    total_edges_added: int
+    total_messages: int
+    total_bits: int
+    history: Optional[List[RoundResult]] = None
+
+
+class DiscoveryProcess(abc.ABC):
+    """Common machinery for all discovery processes.
+
+    Subclasses implement :meth:`propose` — the per-node random proposal that
+    defines the process — and :meth:`is_converged`.  The base class owns the
+    round loop, the update semantics, message accounting, and the
+    participation mask used by the robustness variants.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph; it is mutated in place.  Pass ``graph.copy()``
+        if the caller needs to keep the original.
+    rng:
+        A :class:`numpy.random.Generator` or an integer seed.  Every random
+        choice of the process flows through this generator.
+    semantics:
+        Synchronous (paper model, default) or sequential updates.
+    """
+
+    #: messages sent per participating node per round (overridden by subclasses).
+    MESSAGES_PER_NODE: int = 2
+
+    def __init__(
+        self,
+        graph: GraphLike,
+        rng: Union[np.random.Generator, int, None] = None,
+        semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+    ) -> None:
+        self.graph = graph
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+        self.semantics = UpdateSemantics(semantics)
+        self.round_index = 0
+        self.total_edges_added = 0
+        self.total_messages = 0
+        self.total_bits = 0
+        self._id_bits = max(1, int(np.ceil(np.log2(max(graph.n, 2)))))
+
+    # ------------------------------------------------------------------ #
+    # to be provided by subclasses
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def propose(self, node: int) -> Optional[Edge]:
+        """Return the edge node ``node`` proposes this round, or None.
+
+        The proposal must be sampled from the process's local rule using
+        only ``self.graph`` and ``self.rng``.  Returning ``None`` means the
+        node makes no proposal (e.g. an isolated node in a variant).
+        """
+
+    @abc.abstractmethod
+    def is_converged(self) -> bool:
+        """True when the process has reached its absorbing state."""
+
+    # ------------------------------------------------------------------ #
+    # hooks that subclasses may override
+    # ------------------------------------------------------------------ #
+    def participating_nodes(self) -> Iterable[int]:
+        """Nodes that act this round (all nodes by default)."""
+        return self.graph.nodes()
+
+    def messages_for_proposal(self, node: int, edge: Optional[Edge]) -> Tuple[int, int]:
+        """Return ``(messages, bits)`` accounting for one node's action this round.
+
+        The default charges :attr:`MESSAGES_PER_NODE` messages of one node
+        ID each, matching the paper's O(log n)-bits-per-message model.
+        Variants with no proposal still pay for their attempted messages.
+        """
+        return self.MESSAGES_PER_NODE, self.MESSAGES_PER_NODE * self._id_bits
+
+    def apply_edge(self, edge: Edge) -> bool:
+        """Insert a proposed edge into the graph; returns True when new."""
+        return self.graph.add_edge(*edge)
+
+    # ------------------------------------------------------------------ #
+    # the round engine
+    # ------------------------------------------------------------------ #
+    def step(self) -> RoundResult:
+        """Execute one synchronous (or sequential) round and return its result."""
+        result = RoundResult(round_index=self.round_index)
+        if self.semantics is UpdateSemantics.SYNCHRONOUS:
+            proposals: List[Tuple[int, Optional[Edge]]] = [
+                (node, self.propose(node)) for node in self.participating_nodes()
+            ]
+            for node, edge in proposals:
+                msgs, bits = self.messages_for_proposal(node, edge)
+                result.messages_sent += msgs
+                result.bits_sent += bits
+                if edge is None:
+                    continue
+                result.proposed_edges.append(edge)
+                if self.apply_edge(edge):
+                    result.added_edges.append(edge)
+        else:  # sequential ablation
+            for node in self.participating_nodes():
+                edge = self.propose(node)
+                msgs, bits = self.messages_for_proposal(node, edge)
+                result.messages_sent += msgs
+                result.bits_sent += bits
+                if edge is None:
+                    continue
+                result.proposed_edges.append(edge)
+                if self.apply_edge(edge):
+                    result.added_edges.append(edge)
+        self.round_index += 1
+        self.total_edges_added += result.num_added
+        self.total_messages += result.messages_sent
+        self.total_bits += result.bits_sent
+        return result
+
+    def run(
+        self,
+        max_rounds: int,
+        until: Optional[Callable[["DiscoveryProcess"], bool]] = None,
+        record_history: bool = False,
+        callbacks: Sequence[Callable[["DiscoveryProcess", RoundResult], None]] = (),
+    ) -> RunResult:
+        """Run rounds until convergence, a custom predicate, or ``max_rounds``.
+
+        Parameters
+        ----------
+        max_rounds:
+            Hard cap on the number of rounds executed by this call.
+        until:
+            Optional extra stopping predicate evaluated after every round
+            (in addition to :meth:`is_converged`).
+        record_history:
+            When True, keep every :class:`RoundResult` in the returned
+            :class:`RunResult` (memory grows linearly with rounds).
+        callbacks:
+            Callables invoked after every round with ``(process, result)``
+            — used by the metrics recorder and the trace collector.
+        """
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        history: Optional[List[RoundResult]] = [] if record_history else None
+        converged = self.is_converged() or (until is not None and until(self))
+        rounds_run = 0
+        while not converged and rounds_run < max_rounds:
+            result = self.step()
+            rounds_run += 1
+            if history is not None:
+                history.append(result)
+            for callback in callbacks:
+                callback(self, result)
+            converged = self.is_converged() or (until is not None and until(self))
+        return RunResult(
+            rounds=rounds_run,
+            converged=converged,
+            total_edges_added=self.total_edges_added,
+            total_messages=self.total_messages,
+            total_bits=self.total_bits,
+            history=history,
+        )
+
+    def run_to_convergence(
+        self,
+        max_rounds: Optional[int] = None,
+        record_history: bool = False,
+        callbacks: Sequence[Callable[["DiscoveryProcess", RoundResult], None]] = (),
+    ) -> RunResult:
+        """Run until :meth:`is_converged` holds, with a safety cap.
+
+        The default cap is a generous multiple of the paper's upper bounds
+        (``40 · n · (log₂ n + 1)²`` for undirected processes) so a stuck run
+        cannot loop forever; hitting the cap returns ``converged=False``.
+        """
+        if max_rounds is None:
+            max_rounds = self.default_round_cap()
+        return self.run(max_rounds, record_history=record_history, callbacks=callbacks)
+
+    def default_round_cap(self) -> int:
+        """A generous safety cap derived from the paper's upper bound for the process."""
+        n = max(self.graph.n, 2)
+        log_n = float(np.log2(n)) + 1.0
+        return int(40 * n * log_n * log_n) + 100
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.graph.n}, round={self.round_index}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

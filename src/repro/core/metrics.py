@@ -1,0 +1,117 @@
+"""Per-round metric collection for the discovery processes.
+
+The recorder is a run-loop callback: attach it via the ``callbacks=``
+argument of :meth:`DiscoveryProcess.run` and it snapshots the metrics the
+experiments need.  Cheap metrics (edge count, min/mean degree, edges added,
+message counts) are recorded every round; expensive metrics (diameter,
+clustering) only every ``expensive_every`` rounds because they cost O(n·m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import DiscoveryProcess, RoundResult
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs import properties
+
+__all__ = ["RoundMetrics", "MetricsRecorder"]
+
+
+@dataclass
+class RoundMetrics:
+    """Snapshot of graph/process state after one round."""
+
+    round_index: int
+    num_edges: int
+    edges_added: int
+    min_degree: int
+    mean_degree: float
+    max_degree: int
+    missing_edges: int
+    messages_sent: int
+    bits_sent: int
+    diameter: Optional[int] = None
+    average_clustering: Optional[float] = None
+
+
+class MetricsRecorder:
+    """Collects a :class:`RoundMetrics` entry after every round.
+
+    Parameters
+    ----------
+    expensive_every:
+        Period (in rounds) at which diameter and clustering are computed;
+        0 disables them entirely (the default — they are only needed by the
+        social-evolution experiments).
+    """
+
+    def __init__(self, expensive_every: int = 0) -> None:
+        self.expensive_every = expensive_every
+        self.history: List[RoundMetrics] = []
+
+    def __call__(self, process: DiscoveryProcess, result: RoundResult) -> None:
+        graph = process.graph
+        if isinstance(graph, DynamicGraph):
+            degrees = graph.degrees()
+            missing = graph.missing_edges()
+        else:
+            degrees = graph.out_degrees()
+            missing = graph.n * (graph.n - 1) - graph.number_of_edges()
+        entry = RoundMetrics(
+            round_index=result.round_index,
+            num_edges=graph.number_of_edges(),
+            edges_added=result.num_added,
+            min_degree=int(degrees.min()) if graph.n else 0,
+            mean_degree=float(degrees.mean()) if graph.n else 0.0,
+            max_degree=int(degrees.max()) if graph.n else 0,
+            missing_edges=missing,
+            messages_sent=result.messages_sent,
+            bits_sent=result.bits_sent,
+        )
+        if (
+            self.expensive_every > 0
+            and isinstance(graph, DynamicGraph)
+            and result.round_index % self.expensive_every == 0
+            and properties.is_connected(graph)
+        ):
+            entry.diameter = properties.diameter(graph)
+            entry.average_clustering = properties.average_clustering(graph)
+        self.history.append(entry)
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors
+    # ------------------------------------------------------------------ #
+    def as_arrays(self) -> dict:
+        """Return the recorded series as numpy arrays keyed by metric name."""
+        if not self.history:
+            return {}
+        return {
+            "round_index": np.array([m.round_index for m in self.history]),
+            "num_edges": np.array([m.num_edges for m in self.history]),
+            "edges_added": np.array([m.edges_added for m in self.history]),
+            "min_degree": np.array([m.min_degree for m in self.history]),
+            "mean_degree": np.array([m.mean_degree for m in self.history]),
+            "max_degree": np.array([m.max_degree for m in self.history]),
+            "missing_edges": np.array([m.missing_edges for m in self.history]),
+            "messages_sent": np.array([m.messages_sent for m in self.history]),
+            "bits_sent": np.array([m.bits_sent for m in self.history]),
+        }
+
+    def min_degree_series(self) -> np.ndarray:
+        """The minimum-degree trajectory (one value per recorded round)."""
+        return np.array([m.min_degree for m in self.history], dtype=np.int64)
+
+    def edges_series(self) -> np.ndarray:
+        """The edge-count trajectory (one value per recorded round)."""
+        return np.array([m.num_edges for m in self.history], dtype=np.int64)
+
+    def clear(self) -> None:
+        """Drop all recorded history."""
+        self.history.clear()
+
+    def __len__(self) -> int:
+        return len(self.history)

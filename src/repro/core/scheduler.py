@@ -1,0 +1,136 @@
+"""Activation schedules: which nodes act in a round.
+
+The paper's model activates *every* node in *every* round.  The conclusion
+asks what happens when "only a subset of nodes participate in forming
+connections"; this module provides pluggable activation schedules for that
+study and for an asynchronous-style model where a random subset of expected
+size one acts per tick (the classic way to compare synchronous round bounds
+against asynchronous wall-clock bounds).
+
+Schedules compose with any :class:`DiscoveryProcess` through
+:class:`ScheduledProcess`, which overrides ``participating_nodes``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import DiscoveryProcess
+
+__all__ = [
+    "ActivationSchedule",
+    "FullActivation",
+    "BernoulliActivation",
+    "FixedSubsetActivation",
+    "RoundRobinActivation",
+    "PoissonLikeActivation",
+    "ScheduledProcess",
+]
+
+
+class ActivationSchedule(abc.ABC):
+    """Decides which nodes act in a given round."""
+
+    @abc.abstractmethod
+    def active_nodes(self, n: int, round_index: int, rng: np.random.Generator) -> Iterable[int]:
+        """Return the node IDs that act in round ``round_index`` of an n-node process."""
+
+
+class FullActivation(ActivationSchedule):
+    """Every node acts every round — the paper's synchronous model."""
+
+    def active_nodes(self, n: int, round_index: int, rng: np.random.Generator) -> Iterable[int]:
+        return range(n)
+
+
+class BernoulliActivation(ActivationSchedule):
+    """Each node independently acts with probability ``p`` each round."""
+
+    def __init__(self, p: float) -> None:
+        if not (0.0 < p <= 1.0):
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = p
+
+    def active_nodes(self, n: int, round_index: int, rng: np.random.Generator) -> Iterable[int]:
+        mask = rng.random(n) < self.p
+        return np.flatnonzero(mask).tolist()
+
+
+class FixedSubsetActivation(ActivationSchedule):
+    """Only a fixed subset of nodes ever acts (the rest are passive listeners)."""
+
+    def __init__(self, subset: Sequence[int]) -> None:
+        if not subset:
+            raise ValueError("the active subset must be non-empty")
+        self.subset: List[int] = sorted(set(int(u) for u in subset))
+
+    def active_nodes(self, n: int, round_index: int, rng: np.random.Generator) -> Iterable[int]:
+        return [u for u in self.subset if u < n]
+
+
+class RoundRobinActivation(ActivationSchedule):
+    """Exactly one node acts per tick, cycling through node IDs in order.
+
+    ``n`` ticks of this schedule perform the same amount of work as one
+    synchronous round, so convergence tick-counts divided by ``n`` are
+    directly comparable with the paper's round bounds.
+    """
+
+    def active_nodes(self, n: int, round_index: int, rng: np.random.Generator) -> Iterable[int]:
+        return [round_index % n]
+
+
+class PoissonLikeActivation(ActivationSchedule):
+    """One uniformly random node acts per tick (asynchronous-style activation)."""
+
+    def active_nodes(self, n: int, round_index: int, rng: np.random.Generator) -> Iterable[int]:
+        return [int(rng.integers(n))]
+
+
+class ScheduledProcess:
+    """Wrap a process so its per-round participation follows a schedule.
+
+    The wrapper monkey-patches ``participating_nodes`` on the wrapped
+    process instance; everything else (stepping, convergence, metrics)
+    passes through untouched, so the wrapped process can be used with the
+    normal run loop and the experiment harness.
+    """
+
+    def __init__(self, process: DiscoveryProcess, schedule: ActivationSchedule) -> None:
+        self.process = process
+        self.schedule = schedule
+        self._install()
+
+    def _install(self) -> None:
+        process = self.process
+        schedule = self.schedule
+
+        def participating_nodes() -> Iterable[int]:
+            return schedule.active_nodes(process.graph.n, process.round_index, process.rng)
+
+        process.participating_nodes = participating_nodes  # type: ignore[method-assign]
+
+    # Pass-through conveniences so the wrapper can be used like a process.
+    def step(self):
+        """Execute one scheduled round."""
+        return self.process.step()
+
+    def run(self, *args, **kwargs):
+        """Run the wrapped process with the schedule applied."""
+        return self.process.run(*args, **kwargs)
+
+    def run_to_convergence(self, *args, **kwargs):
+        """Run the wrapped process to convergence with the schedule applied."""
+        return self.process.run_to_convergence(*args, **kwargs)
+
+    def is_converged(self) -> bool:
+        """Delegate to the wrapped process."""
+        return self.process.is_converged()
+
+    @property
+    def graph(self):
+        """The wrapped process's graph."""
+        return self.process.graph

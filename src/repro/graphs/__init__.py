@@ -1,0 +1,24 @@
+"""Graph substrate for the gossip discovery processes.
+
+This subpackage provides the dynamic graph data structures the processes
+mutate (:mod:`repro.graphs.adjacency`), generators for every graph family
+used in the paper's arguments and in our experiments
+(:mod:`repro.graphs.generators`, :mod:`repro.graphs.directed_generators`),
+structural property computations matching the paper's notation
+(:mod:`repro.graphs.properties`), transitive-closure utilities for the
+directed termination condition (:mod:`repro.graphs.closure`), and invariant
+validation helpers (:mod:`repro.graphs.validation`).
+"""
+
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs import generators, directed_generators, properties, closure, validation
+
+__all__ = [
+    "DynamicGraph",
+    "DynamicDiGraph",
+    "generators",
+    "directed_generators",
+    "properties",
+    "closure",
+    "validation",
+]

@@ -1,0 +1,83 @@
+"""Transitive closure and reachability utilities for directed termination.
+
+The directed two-hop walk terminates when, for every ordered pair
+``(u, v)`` with a ``u → v`` path in the *initial* graph ``G_0``, the edge
+``(u, v)`` is present.  The target edge set is therefore the transitive
+closure of ``G_0``; these helpers compute it once so the simulation engine
+can track "missing closure edges" with an O(1)-per-added-edge counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.adjacency import DynamicDiGraph
+
+__all__ = [
+    "reachable_from",
+    "reachability_matrix",
+    "transitive_closure_edges",
+    "transitive_closure_graph",
+    "closure_deficit",
+    "is_transitively_closed",
+]
+
+
+def reachable_from(graph: DynamicDiGraph, source: int) -> Set[int]:
+    """Nodes reachable from ``source`` along directed edges, excluding ``source``
+    itself unless it lies on a directed cycle through ``source``."""
+    seen = np.zeros(graph.n, dtype=bool)
+    queue = deque(graph.out_neighbors(source))
+    for v in graph.out_neighbors(source):
+        seen[v] = True
+    result: Set[int] = set(graph.out_neighbors(source))
+    while queue:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                result.add(v)
+                queue.append(v)
+    return result
+
+
+def reachability_matrix(graph: DynamicDiGraph) -> np.ndarray:
+    """Boolean matrix R with ``R[u, v]`` true iff there is a nonempty directed
+    path from ``u`` to ``v``.  Computed by n BFS traversals (O(n·m))."""
+    n = graph.n
+    mat = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        for v in reachable_from(graph, u):
+            if v != u:
+                mat[u, v] = True
+            else:
+                mat[u, u] = True  # u lies on a cycle through itself
+    return mat
+
+
+def transitive_closure_edges(graph: DynamicDiGraph) -> Set[Tuple[int, int]]:
+    """All ordered pairs ``(u, v)``, ``u != v``, with a directed path ``u → v``."""
+    edges: Set[Tuple[int, int]] = set()
+    for u in range(graph.n):
+        for v in reachable_from(graph, u):
+            if v != u:
+                edges.add((u, v))
+    return edges
+
+
+def transitive_closure_graph(graph: DynamicDiGraph) -> DynamicDiGraph:
+    """The transitive closure of ``graph`` as a new :class:`DynamicDiGraph`."""
+    return DynamicDiGraph(graph.n, transitive_closure_edges(graph))
+
+
+def closure_deficit(graph: DynamicDiGraph, closure: Set[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Edges of the target closure not yet present in ``graph`` (sorted)."""
+    return sorted(e for e in closure if not graph.has_edge(*e))
+
+
+def is_transitively_closed(graph: DynamicDiGraph) -> bool:
+    """True when ``graph`` already equals its own transitive closure."""
+    return all(graph.has_edge(u, v) for (u, v) in transitive_closure_edges(graph))

@@ -1,0 +1,38 @@
+"""Message-passing substrate: the resource-discovery protocols as explicit messages.
+
+The graph-level processes in :mod:`repro.core` are the mathematical
+objects the paper analyses.  This subpackage re-implements them as
+*distributed protocols*: every node is an agent holding only its local
+neighbour table, and all information moves through explicit messages with
+bit-accounted payloads, delivered by a synchronous simulator.  Tests
+cross-validate that the protocol implementations induce exactly the same
+random graph evolution as the graph-level processes, and experiment E10
+uses the message accounting for the bandwidth comparison against Name
+Dropper / flooding.
+"""
+
+from repro.network.message import Message, MessageKind, id_bits_for
+from repro.network.node import NetworkNode
+from repro.network.protocols import (
+    GossipProtocol,
+    PushProtocol,
+    PullProtocol,
+    NameDropperProtocol,
+)
+from repro.network.simulator import NetworkSimulator
+from repro.network.failures import DropUniform, FailureModel, NoFailures
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "id_bits_for",
+    "NetworkNode",
+    "GossipProtocol",
+    "PushProtocol",
+    "PullProtocol",
+    "NameDropperProtocol",
+    "NetworkSimulator",
+    "FailureModel",
+    "NoFailures",
+    "DropUniform",
+]

@@ -1,0 +1,45 @@
+"""Message failure models for the network simulator.
+
+The simulator asks the failure model whether each message is delivered.
+:class:`NoFailures` is the paper's (reliable, synchronous) model;
+:class:`DropUniform` drops each message independently with a fixed
+probability, supporting the robustness experiments (E11) at the protocol
+level.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.network.message import Message
+
+__all__ = ["FailureModel", "NoFailures", "DropUniform"]
+
+
+class FailureModel(abc.ABC):
+    """Decides, per message, whether delivery succeeds."""
+
+    @abc.abstractmethod
+    def delivered(self, message: Message, rng: np.random.Generator) -> bool:
+        """Return True when ``message`` reaches its receiver."""
+
+
+class NoFailures(FailureModel):
+    """Reliable delivery — the paper's standing assumption."""
+
+    def delivered(self, message: Message, rng: np.random.Generator) -> bool:
+        return True
+
+
+class DropUniform(FailureModel):
+    """Drop each message independently with probability ``drop_prob``."""
+
+    def __init__(self, drop_prob: float) -> None:
+        if not (0.0 <= drop_prob < 1.0):
+            raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.drop_prob = drop_prob
+
+    def delivered(self, message: Message, rng: np.random.Generator) -> bool:
+        return float(rng.random()) >= self.drop_prob

@@ -1,0 +1,80 @@
+"""Protocol messages and bit accounting.
+
+The paper's model allows each node to send messages of at most
+``O(log n)`` bits per round — i.e. a constant number of node IDs.  Every
+message here carries an explicit payload of node IDs and knows its own
+size in bits, so the simulator can verify the per-round bandwidth budget
+of the gossip protocols and expose the Θ(n)-bit messages of the baselines.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+__all__ = ["MessageKind", "Message", "id_bits_for"]
+
+
+def id_bits_for(n: int) -> int:
+    """Bits needed to name one node out of ``n`` (at least 1)."""
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+class MessageKind(str, enum.Enum):
+    """The message types used by the discovery protocols."""
+
+    #: push: "here is the ID of a node you should connect to" (sent by the introducer).
+    INTRODUCE = "introduce"
+    #: pull: "please send me the ID of one of your neighbours".
+    PULL_REQUEST = "pull_request"
+    #: pull: the reply carrying one neighbour ID.
+    PULL_REPLY = "pull_reply"
+    #: pull: "I am connecting to you" notification to the discovered node.
+    CONNECT = "connect"
+    #: name dropper: bulk transfer of every ID the sender knows.
+    KNOWLEDGE = "knowledge"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    Attributes
+    ----------
+    kind:
+        The protocol-level message type.
+    sender, receiver:
+        Node IDs of the endpoints.  Delivery requires that the receiver is
+        a current neighbour of the sender *or* was just introduced to it —
+        the simulator enforces the locality the paper's model assumes.
+    payload:
+        The node IDs carried by the message (possibly empty for requests).
+    round_index:
+        The round in which the message was sent.
+    """
+
+    kind: MessageKind
+    sender: int
+    receiver: int
+    payload: Tuple[int, ...] = field(default_factory=tuple)
+    round_index: int = 0
+
+    def bits(self, n: int) -> int:
+        """Payload size in bits for a network of ``n`` nodes.
+
+        Requests with empty payloads still cost one ID's worth of bits
+        (the sender must identify itself).
+        """
+        return max(1, len(self.payload)) * id_bits_for(n)
+
+    def with_round(self, round_index: int) -> "Message":
+        """Copy of this message stamped with a round index."""
+        return Message(
+            kind=self.kind,
+            sender=self.sender,
+            receiver=self.receiver,
+            payload=self.payload,
+            round_index=round_index,
+        )

@@ -1,0 +1,160 @@
+"""The discovery protocols expressed as per-round message exchanges.
+
+Each protocol implements :meth:`GossipProtocol.run_round`: given the
+simulator (which owns the nodes, the RNG and the failure model), generate
+this round's messages from the *round-start* local states, hand them to the
+simulator for delivery, and apply the state updates of delivered messages.
+The split into explicit phases mirrors what a real implementation would do
+on the wire:
+
+* **Push**: one phase — each node sends two ``INTRODUCE`` messages, one to
+  each chosen neighbour, carrying the other neighbour's ID.
+* **Pull**: three phases — ``PULL_REQUEST`` to a random neighbour, a
+  ``PULL_REPLY`` carrying a random ID from the *round-start* contact list
+  of the replier, then a ``CONNECT`` message from the requester to the
+  discovered node (both endpoints record the new contact).
+* **Name Dropper**: one phase — each node sends its entire contact list
+  (plus its own ID) to one random neighbour.
+
+All sampling is done against round-start snapshots so the protocols match
+the synchronous semantics of the graph-level processes; the push protocol
+is draw-for-draw identical to :class:`repro.core.push.PushDiscovery`
+when given the same seed and starting graph.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.message import Message, MessageKind
+
+__all__ = ["GossipProtocol", "PushProtocol", "PullProtocol", "NameDropperProtocol"]
+
+
+class GossipProtocol(abc.ABC):
+    """Interface for a per-round message-level protocol."""
+
+    #: short name used by the simulator factory and the experiments.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_round(self, simulator) -> None:
+        """Execute one synchronous round on ``simulator``.
+
+        Implementations must send all messages through
+        ``simulator.send(message)`` (which applies the failure model and
+        does the accounting) and apply state changes only for messages the
+        simulator reports as delivered.
+        """
+
+
+class PushProtocol(GossipProtocol):
+    """Triangulation as messages: introduce two random contacts to each other."""
+
+    name = "push"
+
+    def run_round(self, simulator) -> None:
+        rng = simulator.rng
+        round_index = simulator.round_index
+        deliveries: List[Message] = []
+        # Sample every node's action against the round-start contact lists.
+        for node in simulator.nodes:
+            if node.degree() == 0:
+                continue
+            v, w = node.random_contact_pair(rng)
+            if v == w:
+                continue
+            msg_v = Message(MessageKind.INTRODUCE, node.node_id, v, (w,), round_index)
+            msg_w = Message(MessageKind.INTRODUCE, node.node_id, w, (v,), round_index)
+            for msg in (msg_v, msg_w):
+                if simulator.send(msg):
+                    deliveries.append(msg)
+        # Apply all deliveries after sampling (synchronous update).
+        for msg in deliveries:
+            receiver = simulator.nodes[msg.receiver]
+            for contact in msg.payload:
+                if receiver.add_contact(contact):
+                    simulator.record_discovery(msg.receiver, contact)
+
+
+class PullProtocol(GossipProtocol):
+    """Two-hop walk as messages: request / reply / connect."""
+
+    name = "pull"
+
+    def run_round(self, simulator) -> None:
+        rng = simulator.rng
+        round_index = simulator.round_index
+        nodes = simulator.nodes
+        # Snapshot round-start contact lists so replies are sampled from G_t.
+        snapshots: Dict[int, Tuple[int, ...]] = {
+            node.node_id: tuple(node.contacts) for node in nodes
+        }
+
+        # Phase 1: every node with contacts sends a pull request to a random neighbour.
+        requests: List[Message] = []
+        for node in nodes:
+            if node.degree() == 0:
+                continue
+            v = node.random_contact(rng)
+            msg = Message(MessageKind.PULL_REQUEST, node.node_id, v, (), round_index)
+            if simulator.send(msg):
+                requests.append(msg)
+
+        # Phase 2: each request is answered with a random round-start contact of the replier.
+        replies: List[Message] = []
+        for req in requests:
+            replier_contacts = snapshots[req.receiver]
+            if not replier_contacts:
+                continue
+            w = replier_contacts[int(rng.integers(len(replier_contacts)))]
+            msg = Message(MessageKind.PULL_REPLY, req.receiver, req.sender, (w,), round_index)
+            if simulator.send(msg):
+                replies.append(msg)
+
+        # Phase 3: the requester connects to the discovered node (if it is not itself).
+        connects: List[Message] = []
+        for rep in replies:
+            u = rep.receiver
+            (w,) = rep.payload
+            if w == u:
+                continue
+            msg = Message(MessageKind.CONNECT, u, w, (u,), round_index)
+            if simulator.send(msg):
+                connects.append(msg)
+
+        # Apply: both endpoints of every delivered CONNECT learn each other.
+        for msg in connects:
+            u, w = msg.sender, msg.receiver
+            if nodes[u].add_contact(w):
+                simulator.record_discovery(u, w)
+            if nodes[w].add_contact(u):
+                simulator.record_discovery(w, u)
+
+
+class NameDropperProtocol(GossipProtocol):
+    """Name Dropper as messages: bulk knowledge transfer to one random neighbour."""
+
+    name = "name_dropper"
+
+    def run_round(self, simulator) -> None:
+        rng = simulator.rng
+        round_index = simulator.round_index
+        nodes = simulator.nodes
+        deliveries: List[Message] = []
+        for node in nodes:
+            if node.degree() == 0:
+                continue
+            v = node.random_contact(rng)
+            payload = tuple(node.contacts) + (node.node_id,)
+            msg = Message(MessageKind.KNOWLEDGE, node.node_id, v, payload, round_index)
+            if simulator.send(msg):
+                deliveries.append(msg)
+        for msg in deliveries:
+            receiver = simulator.nodes[msg.receiver]
+            for contact in msg.payload:
+                if receiver.add_contact(contact):
+                    simulator.record_discovery(msg.receiver, contact)

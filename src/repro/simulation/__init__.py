@@ -1,0 +1,34 @@
+"""Experiment substrate: seeds, traces, runners, sweeps, statistics, and bounds."""
+
+from repro.simulation.rng import SeedSequenceFactory, spawn_rngs
+from repro.simulation.trace import RunTrace, TraceRecorder
+from repro.simulation.engine import (
+    make_process,
+    run_process,
+    measure_convergence_rounds,
+    PROCESS_REGISTRY,
+)
+from repro.simulation.experiment import ExperimentSpec, SweepSpec
+from repro.simulation.runner import TrialResult, run_trials, run_sweep, summarize_trials
+from repro.simulation import stats, bounds, io, plotting
+
+__all__ = [
+    "io",
+    "plotting",
+    "SeedSequenceFactory",
+    "spawn_rngs",
+    "RunTrace",
+    "TraceRecorder",
+    "make_process",
+    "run_process",
+    "measure_convergence_rounds",
+    "PROCESS_REGISTRY",
+    "ExperimentSpec",
+    "SweepSpec",
+    "TrialResult",
+    "run_trials",
+    "run_sweep",
+    "summarize_trials",
+    "stats",
+    "bounds",
+]

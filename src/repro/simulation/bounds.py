@@ -1,0 +1,68 @@
+"""The theoretical bound curves from the paper's theorems.
+
+Each function maps a graph size ``n`` (or ``(n, k)`` for the missing-edge
+lower bounds) to the value of the corresponding asymptotic expression,
+with natural logarithms and unit constants.  They are only ever used in
+ratio checks (measured / bound), so the constant in front is irrelevant.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "n_log_n",
+    "n_log2_n",
+    "n_log_k",
+    "n_squared",
+    "n_squared_log_n",
+    "log_n",
+    "log2_n",
+    "BOUND_REGISTRY",
+]
+
+
+def log_n(n: float) -> float:
+    """``ln n`` (guarded below by ``ln 2`` so ratios stay finite for tiny n)."""
+    return max(math.log(n), math.log(2.0))
+
+
+def log2_n(n: float) -> float:
+    """``(ln n)²``."""
+    return log_n(n) ** 2
+
+
+def n_log_n(n: float) -> float:
+    """The Ω(n log n) undirected lower-bound curve."""
+    return n * log_n(n)
+
+
+def n_log2_n(n: float) -> float:
+    """The O(n log² n) undirected upper-bound curve (Theorems 8 and 12)."""
+    return n * log2_n(n)
+
+
+def n_log_k(n: float, k: float) -> float:
+    """The Ω(n log k) lower-bound curve with ``k`` missing edges (Theorems 9 and 13)."""
+    return n * max(math.log(max(k, 2.0)), math.log(2.0))
+
+
+def n_squared(n: float) -> float:
+    """The Ω(n²) strongly-connected directed lower-bound curve (Theorem 15)."""
+    return n * n
+
+
+def n_squared_log_n(n: float) -> float:
+    """The O(n² log n) directed upper-bound curve (Theorem 14)."""
+    return n * n * log_n(n)
+
+
+#: name -> single-argument bound function (the two-argument n_log_k is excluded).
+BOUND_REGISTRY = {
+    "n_log_n": n_log_n,
+    "n_log2_n": n_log2_n,
+    "n_squared": n_squared,
+    "n_squared_log_n": n_squared_log_n,
+    "log_n": log_n,
+    "log2_n": log2_n,
+}

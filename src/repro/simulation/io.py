@@ -1,0 +1,103 @@
+"""Result persistence: save and load experiment outputs as JSON or CSV.
+
+Sweeps can take minutes; these helpers let the CLI and the benchmark
+harness persist their row tables (lists of flat dicts) and run traces so
+analyses can be re-plotted without re-simulating.  Only standard-library
+formats are used — JSON for nested payloads, CSV for flat row tables — so
+saved results remain readable without this package.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.simulation.trace import RunTrace
+
+__all__ = [
+    "save_rows_json",
+    "load_rows_json",
+    "save_rows_csv",
+    "load_rows_csv",
+    "save_trace",
+    "load_trace",
+]
+
+PathLike = Union[str, Path]
+
+
+def _ensure_parent(path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+
+def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: Optional[Dict] = None) -> Path:
+    """Save a row table (list of flat dicts) plus optional metadata as JSON.
+
+    The file layout is ``{"metadata": {...}, "rows": [...]}``; metadata is
+    the natural place for the seed, sizes and process name that produced
+    the rows.
+    """
+    target = Path(path)
+    _ensure_parent(target)
+    payload = {"metadata": dict(metadata or {}), "rows": [dict(r) for r in rows]}
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return target
+
+
+def load_rows_json(path: PathLike) -> Dict[str, object]:
+    """Load a JSON row table saved by :func:`save_rows_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_rows_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
+    """Save a row table as CSV (columns = union of keys, in first-seen order)."""
+    target = Path(path)
+    _ensure_parent(target)
+    if not rows:
+        target.write_text("")
+        return target
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return target
+
+
+def load_rows_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Load a CSV row table; all values come back as strings."""
+    with Path(path).open(newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]
+
+
+def save_trace(trace: RunTrace, path: PathLike, metadata: Optional[Dict] = None) -> Path:
+    """Save a :class:`RunTrace` (plus metadata) as JSON."""
+    target = Path(path)
+    _ensure_parent(target)
+    payload = {"metadata": dict(metadata or {}), "trace": trace.as_dict()}
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return target
+
+
+def load_trace(path: PathLike) -> RunTrace:
+    """Load a :class:`RunTrace` saved by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    data = payload["trace"]
+    trace = RunTrace(
+        rounds=list(data.get("rounds", [])),
+        num_edges=list(data.get("num_edges", [])),
+        edges_added=list(data.get("edges_added", [])),
+        min_degree=list(data.get("min_degree", [])),
+    )
+    known = {"rounds", "num_edges", "edges_added", "min_degree"}
+    for key, values in data.items():
+        if key not in known:
+            trace.custom[key] = list(values)
+    return trace

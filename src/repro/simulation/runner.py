@@ -1,0 +1,144 @@
+"""Trial runner: execute experiment specs, aggregate results into tables.
+
+The runner executes each trial with an independent RNG stream spawned
+from the experiment's root seed, so every table in EXPERIMENTS.md can be
+regenerated bit-for-bit from one integer.  A ``processes=`` argument
+enables multiprocessing fan-out across trials for the larger sweeps;
+benchmarks use the default serial path for determinism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.engine import measure_convergence_rounds
+from repro.simulation.experiment import ExperimentSpec
+from repro.simulation.rng import SeedSequenceFactory
+from repro.simulation import stats
+
+__all__ = ["TrialResult", "run_trials", "run_sweep", "summarize_trials", "sweep_table"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial of one experiment spec."""
+
+    spec: ExperimentSpec
+    trial_index: int
+    rounds: int
+    converged: bool
+    edges_added: int
+    messages: int
+    bits: int
+
+
+def _run_single_trial(args: Tuple[ExperimentSpec, int, Optional[int]]) -> TrialResult:
+    """Module-level worker so it can cross a multiprocessing boundary."""
+    spec, trial_index, root_seed = args
+    factory = SeedSequenceFactory(root_seed)
+    rng = factory.rng_for_index(trial_index)
+    graph = spec.build_graph(rng)
+    result = measure_convergence_rounds(
+        spec.process,
+        graph,
+        rng=rng,
+        max_rounds=spec.max_rounds,
+        copy_graph=False,
+        **spec.process_kwargs,
+    )
+    return TrialResult(
+        spec=spec,
+        trial_index=trial_index,
+        rounds=result.rounds,
+        converged=result.converged,
+        edges_added=result.total_edges_added,
+        messages=result.total_messages,
+        bits=result.total_bits,
+    )
+
+
+def run_trials(
+    spec: ExperimentSpec,
+    root_seed: Optional[int] = None,
+    processes: int = 1,
+) -> List[TrialResult]:
+    """Run all trials of one experiment spec.
+
+    Parameters
+    ----------
+    spec:
+        The experiment configuration.
+    root_seed:
+        Root seed from which each trial's independent stream is derived.
+        Trial ``i`` always gets stream ``i``, so adding trials never
+        changes earlier ones.
+    processes:
+        Number of worker processes (1 = run serially in this process).
+    """
+    jobs = [(spec, i, root_seed) for i in range(spec.trials)]
+    if processes <= 1 or spec.trials <= 1:
+        return [_run_single_trial(job) for job in jobs]
+    with multiprocessing.Pool(processes=processes) as pool:
+        return list(pool.map(_run_single_trial, jobs))
+
+
+def run_sweep(
+    specs: Sequence[ExperimentSpec],
+    root_seed: Optional[int] = None,
+    processes: int = 1,
+) -> Dict[ExperimentSpec, List[TrialResult]]:
+    """Run every spec in a sweep; returns results keyed by spec."""
+    results: Dict[ExperimentSpec, List[TrialResult]] = {}
+    for spec in specs:
+        results[spec] = run_trials(spec, root_seed=root_seed, processes=processes)
+    return results
+
+
+def summarize_trials(trials: Sequence[TrialResult]) -> Dict[str, float]:
+    """Aggregate one spec's trials into summary statistics.
+
+    Returns mean/median/std/min/max of rounds, the fraction converged, and
+    mean message/bit totals.
+    """
+    if not trials:
+        raise ValueError("cannot summarize an empty trial list")
+    rounds = np.array([t.rounds for t in trials], dtype=float)
+    return {
+        "n": float(trials[0].spec.n),
+        "trials": float(len(trials)),
+        "rounds_mean": float(rounds.mean()),
+        "rounds_median": float(np.median(rounds)),
+        "rounds_std": float(rounds.std(ddof=1)) if len(rounds) > 1 else 0.0,
+        "rounds_min": float(rounds.min()),
+        "rounds_max": float(rounds.max()),
+        "rounds_ci95": stats.ci95_halfwidth(rounds),
+        "converged_fraction": float(np.mean([t.converged for t in trials])),
+        "messages_mean": float(np.mean([t.messages for t in trials])),
+        "bits_mean": float(np.mean([t.bits for t in trials])),
+        "edges_added_mean": float(np.mean([t.edges_added for t in trials])),
+    }
+
+
+def sweep_table(
+    results: Dict[ExperimentSpec, List[TrialResult]]
+) -> List[Dict[str, object]]:
+    """Flatten sweep results into a list of row dicts (one per spec).
+
+    Each row carries the spec identity (process, family, n, label) plus the
+    summary statistics — the exact rows the benchmark harnesses print.
+    """
+    rows: List[Dict[str, object]] = []
+    for spec, trials in results.items():
+        row: Dict[str, object] = {
+            "process": spec.process,
+            "family": spec.family,
+            "label": spec.label,
+        }
+        row.update(summarize_trials(trials))
+        rows.append(row)
+    rows.sort(key=lambda r: (str(r["process"]), str(r["family"]), float(r["n"])))
+    return rows

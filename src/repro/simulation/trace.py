@@ -1,0 +1,103 @@
+"""Run traces: compact per-round records of a process run.
+
+A :class:`TraceRecorder` is a run-loop callback (like the metrics
+recorder) that keeps only the small per-round quantities most analyses
+need — edge count, edges added, minimum degree — plus optional custom
+probes.  The resulting :class:`RunTrace` is cheap to keep for thousands of
+rounds and serialises to plain dictionaries for saving as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.base import DiscoveryProcess, RoundResult
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+
+__all__ = ["RunTrace", "TraceRecorder"]
+
+
+@dataclass
+class RunTrace:
+    """Column-oriented record of one run.
+
+    Attributes are parallel lists indexed by recorded round.
+    """
+
+    rounds: List[int] = field(default_factory=list)
+    num_edges: List[int] = field(default_factory=list)
+    edges_added: List[int] = field(default_factory=list)
+    min_degree: List[int] = field(default_factory=list)
+    custom: Dict[str, List[float]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict form (JSON-serialisable)."""
+        data: Dict[str, List[float]] = {
+            "rounds": list(self.rounds),
+            "num_edges": list(self.num_edges),
+            "edges_added": list(self.edges_added),
+            "min_degree": list(self.min_degree),
+        }
+        for key, values in self.custom.items():
+            data[key] = list(values)
+        return data
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Numpy-array form for analysis."""
+        return {key: np.asarray(values) for key, values in self.as_dict().items()}
+
+    def rounds_to_first_complete(self, total_pairs: int) -> Optional[int]:
+        """First recorded round at which the edge count reached ``total_pairs`` (or None)."""
+        for r, m in zip(self.rounds, self.num_edges):
+            if m >= total_pairs:
+                return r
+        return None
+
+
+class TraceRecorder:
+    """Run-loop callback that fills a :class:`RunTrace`.
+
+    Parameters
+    ----------
+    every:
+        Record only every ``every``-th round (1 = every round).  The final
+        state of a run is whatever the last recorded round saw; analyses
+        that need exact convergence rounds should use the run result, not
+        the trace.
+    probes:
+        Optional mapping from a column name to a callable
+        ``process -> float`` evaluated at every recorded round.
+    """
+
+    def __init__(
+        self,
+        every: int = 1,
+        probes: Optional[Dict[str, Callable[[DiscoveryProcess], float]]] = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError("recording period must be >= 1")
+        self.every = every
+        self.probes = dict(probes or {})
+        self.trace = RunTrace(custom={name: [] for name in self.probes})
+
+    def __call__(self, process: DiscoveryProcess, result: RoundResult) -> None:
+        if result.round_index % self.every != 0:
+            return
+        graph = process.graph
+        self.trace.rounds.append(result.round_index)
+        self.trace.num_edges.append(graph.number_of_edges())
+        self.trace.edges_added.append(result.num_added)
+        if isinstance(graph, DynamicGraph):
+            self.trace.min_degree.append(graph.min_degree())
+        elif isinstance(graph, DynamicDiGraph):
+            self.trace.min_degree.append(int(graph.out_degrees().min()) if graph.n else 0)
+        else:  # pragma: no cover - defensive
+            self.trace.min_degree.append(0)
+        for name, probe in self.probes.items():
+            self.trace.custom[name].append(float(probe(process)))

@@ -1,0 +1,12 @@
+"""Social-network application layer: evolution statistics and group discovery."""
+
+from repro.social.evolution import EvolutionSnapshot, EvolutionTracker, simulate_social_evolution
+from repro.social.group_discovery import GroupDiscoveryResult, discover_group
+
+__all__ = [
+    "EvolutionSnapshot",
+    "EvolutionTracker",
+    "simulate_social_evolution",
+    "GroupDiscoveryResult",
+    "discover_group",
+]

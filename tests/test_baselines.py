@@ -1,0 +1,134 @@
+"""Unit tests for the baseline algorithms (Name Dropper, Pointer Jump, Flooding)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flooding import NeighborhoodFlooding
+from repro.baselines.name_dropper import NameDropper
+from repro.baselines.pointer_jump import RandomPointerJump
+from repro.core.push import PushDiscovery
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+from repro.graphs.adjacency import DynamicDiGraph
+from repro.graphs.closure import is_transitively_closed
+
+
+class TestNameDropper:
+    def test_requires_undirected(self):
+        with pytest.raises(TypeError):
+            NameDropper(DynamicDiGraph(3, [(0, 1)]))
+
+    def test_converges_fast(self):
+        g = gen.path_graph(16)
+        proc = NameDropper(g, rng=0)
+        result = proc.run_to_convergence()
+        assert result.converged
+        assert g.is_complete()
+        # polylogarithmic: far fewer rounds than n
+        assert result.rounds < 16
+
+    def test_messages_are_large(self):
+        g = gen.complete_graph(16)
+        # one step on an (almost) complete graph sends ~n IDs per message
+        g2 = gen.complete_minus_matching(16, 1)
+        proc = NameDropper(g2, rng=0)
+        result = proc.step()
+        id_bits = int(np.ceil(np.log2(16)))
+        # each of the 16 nodes sends one message with ~15 IDs
+        assert result.bits_sent > 16 * 10 * id_bits
+
+    def test_round_cap_polylog(self):
+        # Name Dropper's safety cap is polylogarithmic, hence far below the
+        # O(n log^2 n)-shaped cap of the push process at the same size.
+        nd_cap = NameDropper(gen.cycle_graph(64), rng=0).default_round_cap()
+        push_cap = PushDiscovery(gen.cycle_graph(64), rng=0).default_round_cap()
+        assert nd_cap < push_cap / 10
+
+    def test_propose_not_used(self):
+        proc = NameDropper(gen.cycle_graph(8), rng=0)
+        with pytest.raises(NotImplementedError):
+            proc.propose(0)
+
+    def test_much_fewer_rounds_than_push(self):
+        nd_rounds = NameDropper(gen.cycle_graph(24), rng=1).run_to_convergence().rounds
+        push_rounds = PushDiscovery(gen.cycle_graph(24), rng=1).run_to_convergence().rounds
+        assert nd_rounds < push_rounds
+
+
+class TestRandomPointerJump:
+    def test_undirected_converges_to_complete(self):
+        g = gen.cycle_graph(12)
+        proc = RandomPointerJump(g, rng=0)
+        result = proc.run_to_convergence()
+        assert result.converged
+        assert g.is_complete()
+
+    def test_directed_converges_to_closure(self):
+        g = dgen.directed_cycle(8)
+        proc = RandomPointerJump(g, rng=0)
+        result = proc.run_to_convergence()
+        assert result.converged
+        assert is_transitively_closed(g)
+        assert g.number_of_edges() == 8 * 7
+
+    def test_directed_weakly_connected(self):
+        g = dgen.layered_dag(3, 2)
+        proc = RandomPointerJump(g, rng=1)
+        assert proc.run_to_convergence().converged
+        assert is_transitively_closed(g)
+
+    def test_propose_not_used(self):
+        with pytest.raises(NotImplementedError):
+            RandomPointerJump(gen.cycle_graph(6), rng=0).propose(0)
+
+    def test_already_converged_digraph(self):
+        g = dgen.complete_digraph(5)
+        proc = RandomPointerJump(g, rng=0)
+        assert proc.is_converged()
+        assert proc.run_to_convergence().rounds == 0
+
+
+class TestNeighborhoodFlooding:
+    def test_requires_undirected(self):
+        with pytest.raises(TypeError):
+            NeighborhoodFlooding(DynamicDiGraph(3, [(0, 1)]))
+
+    def test_converges_in_log_diameter_rounds(self):
+        g = gen.path_graph(17)  # diameter 16
+        proc = NeighborhoodFlooding(g, rng=0)
+        result = proc.run_to_convergence()
+        assert result.converged
+        assert g.is_complete()
+        # knowledge radius roughly doubles per round: ceil(log2(16)) + small slack
+        assert result.rounds <= 6
+
+    def test_propose_not_used(self):
+        with pytest.raises(NotImplementedError):
+            NeighborhoodFlooding(gen.cycle_graph(6), rng=0).propose(0)
+
+    def test_uses_far_more_bits_per_round_than_push(self):
+        flood_g = gen.cycle_graph(16)
+        flood = NeighborhoodFlooding(flood_g, rng=0)
+        flood_result = flood.run_to_convergence()
+        push_g = gen.cycle_graph(16)
+        push = PushDiscovery(push_g, rng=0)
+        push.step()
+        flood_bits_per_round = flood_result.total_bits / flood_result.rounds
+        assert flood_bits_per_round > 10 * push.total_bits
+
+
+class TestBaselineComparison:
+    def test_rounds_ordering_flooding_namedropper_push(self):
+        """The round-complexity ordering the paper describes: flooding <= name dropper << push."""
+        seeds = [0, 1]
+        flood = np.mean(
+            [NeighborhoodFlooding(gen.cycle_graph(20), rng=s).run_to_convergence().rounds for s in seeds]
+        )
+        nd = np.mean(
+            [NameDropper(gen.cycle_graph(20), rng=s).run_to_convergence().rounds for s in seeds]
+        )
+        push = np.mean(
+            [PushDiscovery(gen.cycle_graph(20), rng=s).run_to_convergence().rounds for s in seeds]
+        )
+        assert flood <= nd <= push
+        assert push > 5 * nd

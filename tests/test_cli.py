@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = cli.build_parser().parse_args(["run", "--process", "pull", "--n", "32"])
+        assert args.process == "pull"
+        assert args.n == 32
+
+    def test_parses_scaling_sizes(self):
+        args = cli.build_parser().parse_args(["scaling", "--sizes", "8", "16", "32"])
+        assert args.sizes == [8, 16, 32]
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert cli.main(["run", "--process", "push", "--family", "cycle", "--n", "12",
+                         "--trials", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds_mean" in out and "cycle" in out
+
+    def test_scaling_command(self, capsys):
+        assert cli.main(["scaling", "--process", "push", "--family", "cycle",
+                         "--sizes", "8", "16", "--trials", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "power-law fit" in out
+        assert "theorem-shape fit" in out
+
+    def test_nonmonotone_command(self, capsys):
+        assert cli.main(["nonmonotone", "--trials", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced" in out
+        assert "diamond" in out
+
+    def test_group_command(self, capsys):
+        assert cli.main(["group", "--host-family", "cycle", "--host-n", "30",
+                         "--k", "6", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "group_k" in out
+
+    def test_run_command_save_json(self, capsys, tmp_path):
+        target = tmp_path / "result.json"
+        assert cli.main(["run", "--process", "push", "--family", "cycle", "--n", "10",
+                         "--trials", "1", "--seed", "6", "--save", str(target)]) == 0
+        assert target.exists()
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["rows"][0]["process"] == "push"
+        assert payload["metadata"]["command"] == "run"
+
+    def test_scaling_command_save_csv(self, capsys, tmp_path):
+        target = tmp_path / "scaling.csv"
+        assert cli.main(["scaling", "--process", "push", "--family", "cycle",
+                         "--sizes", "8", "16", "--trials", "1", "--seed", "7",
+                         "--save", str(target)]) == 0
+        content = target.read_text()
+        assert "rounds_mean" in content
+        assert content.count("\n") >= 3
+
+    def test_directed_command(self, capsys):
+        assert cli.main(["directed", "--family", "directed_cycle",
+                         "--sizes", "6", "10", "--trials", "1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "power-law fit" in out

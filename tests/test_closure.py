@@ -1,0 +1,62 @@
+"""Unit tests for transitive closure / reachability utilities."""
+
+import pytest
+
+from repro.graphs import directed_generators as dgen
+from repro.graphs.adjacency import DynamicDiGraph
+from repro.graphs import closure
+
+
+class TestReachability:
+    def test_reachable_from_path(self):
+        g = dgen.directed_path(4)
+        assert closure.reachable_from(g, 0) == {1, 2, 3}
+        assert closure.reachable_from(g, 2) == {3}
+        assert closure.reachable_from(g, 3) == set()
+
+    def test_reachable_from_cycle_includes_self(self):
+        g = dgen.directed_cycle(4)
+        assert closure.reachable_from(g, 0) == {0, 1, 2, 3}
+
+    def test_reachability_matrix(self):
+        g = dgen.directed_path(3)
+        mat = closure.reachability_matrix(g)
+        assert mat[0, 2] and mat[0, 1] and mat[1, 2]
+        assert not mat[2, 0]
+        assert not mat[0, 0]  # no cycle through 0
+
+    def test_reachability_matrix_cycle_diagonal(self):
+        g = dgen.directed_cycle(3)
+        mat = closure.reachability_matrix(g)
+        assert mat.all()
+
+
+class TestClosure:
+    def test_transitive_closure_edges_path(self):
+        g = dgen.directed_path(4)
+        edges = closure.transitive_closure_edges(g)
+        assert edges == {(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+
+    def test_transitive_closure_graph(self):
+        g = dgen.directed_cycle(4)
+        tc = closure.transitive_closure_graph(g)
+        assert tc.number_of_edges() == 4 * 3  # complete digraph
+
+    def test_closure_deficit(self):
+        g = dgen.directed_path(3)
+        target = closure.transitive_closure_edges(g)
+        assert closure.closure_deficit(g, target) == [(0, 2)]
+        g.add_edge(0, 2)
+        assert closure.closure_deficit(g, target) == []
+
+    def test_is_transitively_closed(self):
+        g = dgen.directed_path(3)
+        assert not closure.is_transitively_closed(g)
+        g.add_edge(0, 2)
+        assert closure.is_transitively_closed(g)
+        assert closure.is_transitively_closed(dgen.complete_digraph(4))
+
+    def test_closure_of_thm15_is_complete_digraph(self):
+        g = dgen.thm15_strong_lower_bound(8)
+        edges = closure.transitive_closure_edges(g)
+        assert len(edges) == 8 * 7  # strongly connected -> closure is complete

@@ -1,0 +1,160 @@
+"""Integration tests: end-to-end checks of the paper's claims at laptop scale.
+
+These tests run the same pipelines as the benchmark harnesses, just at
+smaller sizes and trial counts, so the full paper-shaped story is exercised
+by ``pytest tests/`` alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degree_growth import measure_degree_growth_phases
+from repro.analysis.lower_bounds import lower_bound_ratio_check
+from repro.analysis.nonmonotonicity import nonmonotonicity_gap
+from repro.analysis.scaling import measure_scaling
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+from repro.simulation import bounds
+from repro.simulation.engine import measure_convergence_rounds
+from repro.simulation.runner import run_trials, summarize_trials
+from repro.simulation.experiment import ExperimentSpec
+
+
+class TestTheorem8And12UpperBounds:
+    """Undirected push/pull complete in O(n log² n) — check the ratio stays bounded."""
+
+    @pytest.mark.parametrize("process", ["push", "pull"])
+    def test_rounds_within_constant_of_n_log2_n(self, process):
+        sizes = [12, 24, 48]
+        m = measure_scaling(process, "cycle", sizes=sizes, trials=2, seed=10)
+        ok, info = pytest.importorskip("repro.simulation.stats").bounded_ratio(
+            sizes, m.mean_rounds, bounds.n_log2_n, spread_tolerance=8.0
+        )
+        assert ok, f"rounds / n log^2 n drifted: {info}"
+        # and the growth is clearly superlinear but at most ~ n^2
+        assert 1.0 <= m.power_fit.exponent < 2.0
+
+    @pytest.mark.parametrize("family", ["path", "star", "erdos_renyi", "barabasi_albert"])
+    def test_push_converges_across_families(self, family):
+        spec = ExperimentSpec(process="push", family=family, n=24, trials=2)
+        trials = run_trials(spec, root_seed=11)
+        assert all(t.converged for t in trials)
+
+
+class TestTheorem9LowerBound:
+    """Ω(n log k): even with k missing edges, rounds scale like n."""
+
+    def test_dense_start_still_needs_linear_rounds(self):
+        sizes = [16, 32, 48]
+        check = lower_bound_ratio_check(
+            "push",
+            instance_factory=lambda n: gen.complete_minus_matching(n, max(1, n // 8)),
+            sizes=sizes,
+            bound=lambda n: bounds.n_log_k(n, max(1.0, n / 8.0)),
+            trials=2,
+            seed=12,
+        )
+        assert check.non_vanishing
+        assert check.power_fit_exponent > 0.6
+
+
+class TestTheorem14Directed:
+    def test_directed_upper_bound_shape(self):
+        sizes = [8, 12, 16]
+        m = measure_scaling(
+            "directed_pull", "random_strong", sizes=sizes, trials=2, seed=13,
+            directed=True, poly_exponent=2.0,
+        )
+        # superlinear growth, consistent with a quadratic-ish bound at these sizes
+        assert m.power_fit.exponent > 1.0
+        ratios = m.normalized_by(bounds.n_squared_log_n)
+        assert (ratios <= 5.0).all()
+
+    def test_weakly_connected_lower_bound_instance_grows_superlinearly(self):
+        # On the Theorem-14 construction the per-shortcut success probability
+        # decays like 1/n^2, so the measured rounds must grow clearly faster
+        # than linearly in n (the undirected processes are ~n at these sizes).
+        check = lower_bound_ratio_check(
+            "directed_pull",
+            instance_factory=dgen.thm14_weak_lower_bound,
+            sizes=[16, 32, 48],
+            bound=bounds.n_squared,
+            trials=2,
+            seed=21,
+            min_fraction_of_first=0.1,
+        )
+        assert check.power_fit_exponent > 1.4
+        assert all(r > 0 for r in check.ratios)
+
+
+class TestTheorem15StrongLowerBound:
+    def test_strongly_connected_construction_grows_superlinearly(self):
+        sizes = [8, 12, 16, 20]
+        check = lower_bound_ratio_check(
+            "directed_pull",
+            instance_factory=dgen.thm15_strong_lower_bound,
+            sizes=sizes,
+            bound=bounds.n_squared,
+            trials=2,
+            seed=14,
+            min_fraction_of_first=0.1,
+        )
+        assert check.power_fit_exponent > 1.2  # clearly superlinear
+        assert all(r > 0 for r in check.ratios)
+
+    def test_directed_much_slower_than_undirected_counterpart(self):
+        """The paper's separation: directionality greatly impedes discovery."""
+        n = 16
+        directed_rounds = measure_convergence_rounds(
+            "directed_pull", dgen.thm15_strong_lower_bound(n), rng=3, copy_graph=False
+        ).rounds
+        undirected_rounds = measure_convergence_rounds(
+            "pull", gen.cycle_graph(n), rng=3, copy_graph=False
+        ).rounds
+        assert directed_rounds > undirected_rounds
+
+
+class TestFigure1cNonmonotonicity:
+    def test_gap_reproduced_for_push(self):
+        gap = nonmonotonicity_gap("push")
+        assert gap["fig1c_gap"] > 0
+        assert gap["pair_gap"] > 0.3
+
+
+class TestMinDegreeGrowthEngine:
+    def test_phase_lengths_normalised_by_n_log_n_stay_small(self):
+        phases = measure_degree_growth_phases(gen.cycle_graph(32), process="push", rng=15)
+        assert phases
+        # Each constant-factor growth phase is O(n log n): at this size the
+        # constant is comfortably below 5.
+        assert max(p.normalized_length for p in phases) < 5.0
+
+
+class TestBandwidthComparison:
+    def test_gossip_uses_fewer_bits_per_round_but_more_rounds_than_name_dropper(self):
+        n = 24
+        push_res = measure_convergence_rounds("push", gen.cycle_graph(n), rng=16, copy_graph=False)
+        nd_res = measure_convergence_rounds(
+            "name_dropper", gen.cycle_graph(n), rng=16, copy_graph=False
+        )
+        assert push_res.rounds > nd_res.rounds  # gossip pays in rounds
+        push_bits_per_round = push_res.total_bits / push_res.rounds
+        nd_bits_per_round = nd_res.total_bits / nd_res.rounds
+        assert push_bits_per_round < nd_bits_per_round  # but wins on bandwidth
+
+
+class TestGroupDiscoveryCorollary:
+    def test_group_rounds_scale_with_k_not_host_size(self):
+        from repro.social.group_discovery import discover_group
+
+        host_small = gen.cycle_graph(40)
+        host_large = gen.cycle_graph(160)
+        k = 10
+        r_small = discover_group(host_small, members=list(range(k)), seed=17).rounds
+        r_large = discover_group(host_large, members=list(range(k)), seed=17).rounds
+        assert r_small == r_large
+        # and both are far below what the large host itself would need
+        full_large = measure_convergence_rounds(
+            "push", gen.cycle_graph(160), rng=17, copy_graph=False
+        ).rounds
+        assert r_large < full_large

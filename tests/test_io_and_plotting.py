@@ -1,0 +1,138 @@
+"""Tests for result persistence (io), ASCII plotting, and markdown reports."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import ReportBuilder, ReportSection, markdown_table
+from repro.core.push import PushDiscovery
+from repro.graphs import generators as gen
+from repro.simulation import io as sim_io
+from repro.simulation.plotting import ascii_plot, loglog_slope_annotation, sparkline
+from repro.simulation.trace import TraceRecorder
+
+
+class TestRowPersistence:
+    ROWS = [
+        {"process": "push", "n": 16, "rounds_mean": 52.5},
+        {"process": "push", "n": 32, "rounds_mean": 120.0},
+    ]
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "rows.json"
+        sim_io.save_rows_json(self.ROWS, path, metadata={"seed": 1})
+        loaded = sim_io.load_rows_json(path)
+        assert loaded["metadata"]["seed"] == 1
+        assert loaded["rows"] == self.ROWS
+
+    def test_json_is_valid_json(self, tmp_path):
+        path = sim_io.save_rows_json(self.ROWS, tmp_path / "rows.json")
+        json.loads(path.read_text())  # must not raise
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        sim_io.save_rows_csv(self.ROWS, path)
+        loaded = sim_io.load_rows_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0]["process"] == "push"
+        assert float(loaded[1]["rounds_mean"]) == 120.0
+
+    def test_csv_empty_rows(self, tmp_path):
+        path = sim_io.save_rows_csv([], tmp_path / "empty.csv")
+        assert sim_io.load_rows_csv(path) == []
+
+    def test_csv_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = sim_io.save_rows_csv(rows, tmp_path / "u.csv")
+        loaded = sim_io.load_rows_csv(path)
+        assert set(loaded[0]) == {"a", "b"}
+
+
+class TestTracePersistence:
+    def test_trace_roundtrip(self, tmp_path):
+        g = gen.cycle_graph(10)
+        proc = PushDiscovery(g, rng=0)
+        recorder = TraceRecorder(probes={"mean_deg": lambda p: p.graph.degrees().mean()})
+        proc.run(8, callbacks=[recorder])
+        path = sim_io.save_trace(recorder.trace, tmp_path / "trace.json", metadata={"n": 10})
+        loaded = sim_io.load_trace(path)
+        assert loaded.rounds == recorder.trace.rounds
+        assert loaded.num_edges == recorder.trace.num_edges
+        assert loaded.custom["mean_deg"] == recorder.trace.custom["mean_deg"]
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        out = sparkline([3, 3, 3])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_monotone_series_uses_extremes(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 8
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_markers(self):
+        chart = ascii_plot([1, 2, 3, 4], [1, 4, 9, 16], width=20, height=8, title="squares")
+        assert "squares" in chart
+        assert chart.count("*") >= 3  # some points may share a cell
+
+    def test_loglog_plot(self):
+        chart = ascii_plot([8, 16, 32, 64], [10, 40, 160, 640], logx=True, logy=True)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1], width=20, height=8)
+        with pytest.raises(ValueError):
+            ascii_plot([], [], width=20, height=8)
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [3, 4], width=2, height=2)
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], [1, 2], logx=True)
+
+    def test_loglog_slope_annotation(self):
+        note = loglog_slope_annotation([8, 64], [10, 640])
+        assert "2.00" in note
+        with pytest.raises(ValueError):
+            loglog_slope_annotation([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope_annotation([0, 2], [1, 2])
+
+
+class TestMarkdownReport:
+    ROWS = [{"n": 16, "rounds": 52.5}, {"n": 32, "rounds": 120.0}]
+
+    def test_markdown_table(self):
+        table = markdown_table(self.ROWS)
+        lines = table.splitlines()
+        assert lines[0] == "| n | rounds |"
+        assert lines[1].startswith("|---")
+        assert len(lines) == 4
+        assert markdown_table([]) == "*(no data)*"
+
+    def test_markdown_table_bool_and_missing(self):
+        table = markdown_table([{"ok": True}, {"ok": False, "extra": 1}])
+        assert "yes" in table and "no" in table
+
+    def test_section_render(self):
+        section = ReportSection(title="Scaling", body="Some prose.", rows=self.ROWS, code="x = 1")
+        text = section.render()
+        assert text.startswith("## Scaling")
+        assert "Some prose." in text
+        assert "```" in text
+
+    def test_builder_write(self, tmp_path):
+        builder = ReportBuilder(title="Report", preamble="Intro.")
+        builder.add_section("A", rows=self.ROWS)
+        builder.add_section("B", body="text only", level=3)
+        path = builder.write(tmp_path / "report.md")
+        content = path.read_text()
+        assert content.startswith("# Report")
+        assert "## A" in content and "### B" in content
+        assert "| n | rounds |" in content

@@ -1,0 +1,80 @@
+"""Unit tests for the per-round metrics recorder."""
+
+import pytest
+
+from repro.core.directed import DirectedTwoHopWalk
+from repro.core.metrics import MetricsRecorder, RoundMetrics
+from repro.core.push import PushDiscovery
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+
+
+class TestMetricsRecorder:
+    def test_records_every_round(self):
+        g = gen.cycle_graph(10)
+        proc = PushDiscovery(g, rng=0)
+        recorder = MetricsRecorder()
+        proc.run(15, callbacks=[recorder])
+        assert len(recorder) == 15
+        assert [m.round_index for m in recorder.history] == list(range(15))
+
+    def test_entry_fields_consistent(self):
+        g = gen.cycle_graph(10)
+        proc = PushDiscovery(g, rng=0)
+        recorder = MetricsRecorder()
+        proc.run(5, callbacks=[recorder])
+        last = recorder.history[-1]
+        assert isinstance(last, RoundMetrics)
+        assert last.num_edges == g.number_of_edges()
+        assert last.min_degree == g.min_degree()
+        assert last.missing_edges == g.missing_edges()
+        assert last.mean_degree == pytest.approx(2 * g.number_of_edges() / g.n)
+
+    def test_expensive_metrics_cadence(self):
+        g = gen.cycle_graph(8)
+        proc = PushDiscovery(g, rng=0)
+        recorder = MetricsRecorder(expensive_every=2)
+        proc.run(6, callbacks=[recorder])
+        # rounds 0, 2, 4 have diameter; 1, 3, 5 do not
+        assert recorder.history[0].diameter is not None
+        assert recorder.history[1].diameter is None
+        assert recorder.history[2].diameter is not None
+
+    def test_expensive_disabled_by_default(self):
+        g = gen.cycle_graph(8)
+        proc = PushDiscovery(g, rng=0)
+        recorder = MetricsRecorder()
+        proc.run(3, callbacks=[recorder])
+        assert all(m.diameter is None for m in recorder.history)
+
+    def test_directed_graph_metrics(self):
+        g = dgen.directed_cycle(8)
+        proc = DirectedTwoHopWalk(g, rng=0)
+        recorder = MetricsRecorder()
+        proc.run(4, callbacks=[recorder])
+        assert len(recorder) == 4
+        assert recorder.history[0].min_degree >= 1
+
+    def test_as_arrays_and_series(self):
+        g = gen.cycle_graph(10)
+        proc = PushDiscovery(g, rng=0)
+        recorder = MetricsRecorder()
+        proc.run(10, callbacks=[recorder])
+        arrays = recorder.as_arrays()
+        assert set(arrays) >= {"round_index", "num_edges", "min_degree"}
+        assert len(arrays["num_edges"]) == 10
+        assert recorder.min_degree_series().shape == (10,)
+        assert (recorder.edges_series()[1:] >= recorder.edges_series()[:-1]).all()
+
+    def test_empty_recorder(self):
+        recorder = MetricsRecorder()
+        assert recorder.as_arrays() == {}
+        assert len(recorder) == 0
+
+    def test_clear(self):
+        g = gen.cycle_graph(8)
+        proc = PushDiscovery(g, rng=0)
+        recorder = MetricsRecorder()
+        proc.run(3, callbacks=[recorder])
+        recorder.clear()
+        assert len(recorder) == 0

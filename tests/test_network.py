@@ -1,0 +1,160 @@
+"""Unit tests for the message-passing substrate (messages, nodes, protocols, simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.push import PushDiscovery
+from repro.graphs import generators as gen
+from repro.network.failures import DropUniform, NoFailures
+from repro.network.message import Message, MessageKind, id_bits_for
+from repro.network.node import NetworkNode
+from repro.network.simulator import NetworkSimulator
+
+
+class TestMessage:
+    def test_id_bits(self):
+        assert id_bits_for(2) == 1
+        assert id_bits_for(16) == 4
+        assert id_bits_for(17) == 5
+        assert id_bits_for(1) == 1
+
+    def test_bits_accounting(self):
+        msg = Message(MessageKind.INTRODUCE, 0, 1, (2,))
+        assert msg.bits(16) == 4
+        bulk = Message(MessageKind.KNOWLEDGE, 0, 1, tuple(range(10)))
+        assert bulk.bits(16) == 40
+        req = Message(MessageKind.PULL_REQUEST, 0, 1, ())
+        assert req.bits(16) == 4  # empty payload still costs one ID
+
+    def test_with_round(self):
+        msg = Message(MessageKind.CONNECT, 0, 1, (0,))
+        stamped = msg.with_round(7)
+        assert stamped.round_index == 7
+        assert stamped.kind is MessageKind.CONNECT
+
+
+class TestNetworkNode:
+    def test_initial_contacts(self):
+        node = NetworkNode(3, [1, 2])
+        assert node.degree() == 2
+        assert node.knows(1) and node.knows(2)
+        assert not node.knows(0)
+
+    def test_add_contact_rules(self):
+        node = NetworkNode(0)
+        assert node.add_contact(1) is True
+        assert node.add_contact(1) is False
+        assert node.add_contact(0) is False  # never stores itself
+        assert node.degree() == 1
+
+    def test_random_contact(self, rng):
+        node = NetworkNode(0, [1, 2, 3])
+        seen = {node.random_contact(rng) for _ in range(100)}
+        assert seen == {1, 2, 3}
+        with pytest.raises(ValueError):
+            NetworkNode(0).random_contact(rng)
+
+    def test_random_contact_pair(self, rng):
+        node = NetworkNode(0, [1, 2])
+        v, w = node.random_contact_pair(rng)
+        assert v in (1, 2) and w in (1, 2)
+
+
+class TestFailureModels:
+    def test_no_failures_always_delivers(self, rng):
+        model = NoFailures()
+        msg = Message(MessageKind.INTRODUCE, 0, 1, (2,))
+        assert all(model.delivered(msg, rng) for _ in range(20))
+
+    def test_drop_uniform_rate(self, rng):
+        model = DropUniform(0.5)
+        msg = Message(MessageKind.INTRODUCE, 0, 1, (2,))
+        delivered = sum(model.delivered(msg, rng) for _ in range(2000))
+        assert 850 < delivered < 1150
+        with pytest.raises(ValueError):
+            DropUniform(1.0)
+
+
+class TestSimulator:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            NetworkSimulator(gen.cycle_graph(6), protocol="bogus")
+
+    def test_requires_undirected_graph(self):
+        from repro.graphs.adjacency import DynamicDiGraph
+
+        with pytest.raises(TypeError):
+            NetworkSimulator(DynamicDiGraph(3, [(0, 1)]))
+
+    @pytest.mark.parametrize("protocol", ["push", "pull", "name_dropper"])
+    def test_protocols_converge_to_full_discovery(self, protocol):
+        sim = NetworkSimulator(gen.cycle_graph(10), protocol=protocol, rng=3)
+        stats = sim.run_to_convergence(max_rounds=20_000)
+        assert sim.is_converged()
+        assert stats.rounds > 0
+        assert stats.messages_delivered == stats.messages_sent  # no failures by default
+
+    def test_contact_graph_matches_knowledge_graph(self):
+        sim = NetworkSimulator(gen.cycle_graph(8), protocol="push", rng=1)
+        for _ in range(20):
+            sim.step()
+        assert sim.contact_graph() == sim.knowledge_graph
+
+    def test_contacts_stay_symmetric_under_push_and_pull(self):
+        for protocol in ("push", "pull"):
+            sim = NetworkSimulator(gen.path_graph(8), protocol=protocol, rng=2)
+            for _ in range(30):
+                sim.step()
+            for node in sim.nodes:
+                for c in node.contacts:
+                    assert sim.nodes[c].knows(node.node_id)
+
+    def test_push_protocol_matches_graph_process_exactly(self):
+        """Same seed + same start graph -> identical evolution, round for round."""
+        start = gen.cycle_graph(9)
+        sim = NetworkSimulator(start.copy(), protocol="push", rng=np.random.default_rng(11))
+        proc_graph = start.copy()
+        proc = PushDiscovery(proc_graph, rng=np.random.default_rng(11))
+        for _ in range(25):
+            sim.step()
+            proc.step()
+            assert sim.contact_graph() == proc_graph
+
+    def test_message_failures_are_counted(self):
+        sim = NetworkSimulator(
+            gen.cycle_graph(10), protocol="push", rng=4, failures=DropUniform(0.5)
+        )
+        for _ in range(10):
+            sim.step()
+        assert sim.stats.messages_dropped > 0
+        assert (
+            sim.stats.messages_delivered + sim.stats.messages_dropped
+            == sim.stats.messages_sent
+        )
+
+    def test_push_per_node_bits_stay_logarithmic(self):
+        n = 32
+        sim = NetworkSimulator(gen.cycle_graph(n), protocol="push", rng=5)
+        for _ in range(50):
+            sim.step()
+        # push: each node sends 2 messages of one ID each per round
+        assert sim.max_bits_per_node_round() <= 2 * id_bits_for(n)
+
+    def test_name_dropper_per_node_bits_grow(self):
+        n = 32
+        sim = NetworkSimulator(gen.cycle_graph(n), protocol="name_dropper", rng=5)
+        sim.run_to_convergence(max_rounds=100)
+        # once knowledge saturates, a single message carries ~n IDs
+        assert sim.max_bits_per_node_round() > 5 * id_bits_for(n)
+
+    def test_run_to_convergence_respects_cap(self):
+        sim = NetworkSimulator(gen.cycle_graph(30), protocol="push", rng=0)
+        stats = sim.run_to_convergence(max_rounds=3)
+        assert stats.rounds == 3
+        assert not sim.is_converged()
+        with pytest.raises(ValueError):
+            sim.run_to_convergence(max_rounds=-1)
+
+    def test_repr(self):
+        sim = NetworkSimulator(gen.cycle_graph(5), protocol="pull", rng=0)
+        assert "pull" in repr(sim)

@@ -1,0 +1,96 @@
+"""Unit tests for statistics and scaling-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import stats
+
+
+class TestBasicStats:
+    def test_ci95_halfwidth(self):
+        assert stats.ci95_halfwidth([5.0]) == 0.0
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        hw = stats.ci95_halfwidth(values)
+        assert hw == pytest.approx(1.96 * np.std(values, ddof=1) / np.sqrt(5))
+
+    def test_geometric_mean(self):
+        assert stats.geometric_mean([2, 8]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            stats.geometric_mean([])
+        with pytest.raises(ValueError):
+            stats.geometric_mean([1.0, -2.0])
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_power_law(self):
+        x = np.array([8, 16, 32, 64, 128], dtype=float)
+        y = 3.0 * x ** 1.7
+        fit = stats.fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.7, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert np.allclose(fit.predict(x), y)
+
+    def test_noisy_power_law(self, rng):
+        x = np.array([8, 16, 32, 64, 128, 256], dtype=float)
+        y = 2.0 * x ** 1.5 * np.exp(rng.normal(0, 0.05, size=x.size))
+        fit = stats.fit_power_law(x, y)
+        assert 1.3 < fit.exponent < 1.7
+        assert fit.r_squared > 0.95
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            stats.fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            stats.fit_power_law([1, 2], [1, -2])
+
+    def test_empirical_exponent_shortcut(self):
+        x = [4, 8, 16]
+        y = [16, 64, 256]
+        assert stats.empirical_exponent(x, y) == pytest.approx(2.0)
+
+
+class TestPowerLogLawFit:
+    def test_recovers_exact_n_log2_n(self):
+        x = np.array([16, 32, 64, 128, 256], dtype=float)
+        y = 5.0 * x * np.log(x) ** 2
+        fit = stats.fit_power_log_law(x, y, poly_exponent=1.0)
+        assert fit.log_exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.coefficient == pytest.approx(5.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_exact_n2_log_n(self):
+        x = np.array([16, 32, 64, 128], dtype=float)
+        y = 0.5 * x ** 2 * np.log(x)
+        fit = stats.fit_power_log_law(x, y, poly_exponent=2.0)
+        assert fit.log_exponent == pytest.approx(1.0, abs=1e-9)
+        assert fit.poly_exponent == 2.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            stats.fit_power_log_law([1, 2], [1, 2])  # x must exceed 1
+        with pytest.raises(ValueError):
+            stats.fit_power_log_law([4], [4])
+
+
+class TestRatioChecks:
+    def test_ratio_series(self):
+        ratios = stats.ratio_series([2, 4], [8, 32], lambda n: n * n)
+        assert ratios.tolist() == [2.0, 2.0]
+        with pytest.raises(ValueError):
+            stats.ratio_series([2], [8], lambda n: 0.0)
+
+    def test_bounded_ratio_accepts_constant_factor(self):
+        x = [8, 16, 32, 64]
+        y = [3 * n * np.log(n) for n in x]
+        ok, info = stats.bounded_ratio(x, y, lambda n: n * np.log(n))
+        assert ok
+        assert info["spread"] == pytest.approx(1.0)
+        assert info["ratio_mean"] == pytest.approx(3.0)
+
+    def test_bounded_ratio_rejects_wrong_shape(self):
+        x = [8, 16, 32, 64, 128]
+        y = [float(n) ** 2 for n in x]  # quadratic vs linear bound
+        ok, info = stats.bounded_ratio(x, y, lambda n: float(n), spread_tolerance=10.0)
+        assert not ok
+        assert info["spread"] > 10.0

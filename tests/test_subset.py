@@ -1,0 +1,67 @@
+"""Unit tests for group (subset) discovery."""
+
+import pytest
+
+from repro.core.subset import SubsetDiscovery
+from repro.graphs import generators as gen
+
+
+class TestSubsetDiscovery:
+    def test_requires_at_least_two_members(self):
+        with pytest.raises(ValueError):
+            SubsetDiscovery(gen.cycle_graph(8), [3], rng=0)
+
+    def test_requires_connected_induced_subgraph(self):
+        g = gen.cycle_graph(8)
+        with pytest.raises(ValueError):
+            SubsetDiscovery(g, [0, 4], rng=0)  # opposite nodes of a cycle: no induced edge
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetDiscovery(gen.cycle_graph(8), [0, 1, 2], process="flood", rng=0)
+
+    def test_host_graph_not_mutated(self):
+        host = gen.cycle_graph(10)
+        before = host.number_of_edges()
+        group = SubsetDiscovery(host, [0, 1, 2, 3], rng=0)
+        group.run_to_convergence()
+        assert host.number_of_edges() == before
+
+    def test_group_converges_to_complete_subgraph(self):
+        host = gen.cycle_graph(20)
+        members = list(range(6))
+        group = SubsetDiscovery(host, members, process="push", rng=1)
+        result = group.run_to_convergence()
+        assert result.converged
+        assert group.is_group_complete()
+        # every pair of members is in the discovered pairs (host labels)
+        pairs = set(group.discovered_pairs())
+        for i in members:
+            for j in members:
+                if i < j:
+                    assert (i, j) in pairs
+
+    def test_pull_process_variant(self):
+        host = gen.grid_graph(4, 4)
+        members = [0, 1, 2, 5, 6]
+        group = SubsetDiscovery(host, members, process="pull", rng=2)
+        assert group.run_to_convergence().converged
+
+    def test_label_translation_roundtrip(self):
+        host = gen.cycle_graph(12)
+        members = [4, 5, 6, 7]
+        group = SubsetDiscovery(host, members, rng=0)
+        for host_label in members:
+            sub = group.to_subgraph_label(host_label)
+            assert group.to_host_label(sub) == host_label
+
+    def test_k_property(self):
+        group = SubsetDiscovery(gen.cycle_graph(9), [0, 1, 2, 3, 4], rng=0)
+        assert group.k == 5
+
+    def test_group_of_whole_graph_equals_plain_process(self):
+        host = gen.path_graph(8)
+        group = SubsetDiscovery(host, list(range(8)), rng=3)
+        result = group.run_to_convergence()
+        assert result.converged
+        assert group.subgraph.is_complete()

@@ -1,0 +1,56 @@
+"""Unit tests for graph invariant validation."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs import directed_generators as dgen
+from repro.graphs import validation
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+
+
+class TestInvariantChecks:
+    def test_valid_graph_has_no_problems(self):
+        assert validation.check_graph_invariants(gen.cycle_graph(8)) == []
+        assert validation.check_graph_invariants(DynamicGraph(3)) == []
+
+    def test_corrupted_graph_detected(self):
+        g = gen.path_graph(4)
+        # Corrupt the internal structures deliberately.
+        g._neighbors[0].append(3)  # asymmetric entry, not in edge set
+        problems = validation.check_graph_invariants(g)
+        assert problems  # at least one violation reported
+
+    def test_valid_digraph_has_no_problems(self):
+        assert validation.check_digraph_invariants(dgen.directed_cycle(6)) == []
+        assert validation.check_digraph_invariants(DynamicDiGraph(2)) == []
+
+    def test_corrupted_digraph_detected(self):
+        g = dgen.directed_path(4)
+        g._out[0].append(3)
+        problems = validation.check_digraph_invariants(g)
+        assert problems
+
+    def test_invariants_hold_after_many_random_additions(self, rng):
+        g = DynamicGraph(15)
+        for _ in range(200):
+            u = int(rng.integers(15))
+            v = int(rng.integers(15))
+            g.add_edge(u, v) if u != v else None
+        assert validation.check_graph_invariants(g) == []
+
+
+class TestPreconditions:
+    def test_require_connected(self):
+        validation.require_connected(gen.cycle_graph(5))
+        with pytest.raises(validation.ValidationError):
+            validation.require_connected(DynamicGraph(3, [(0, 1)]))
+
+    def test_require_weakly_connected(self):
+        validation.require_weakly_connected(dgen.directed_path(4))
+        with pytest.raises(validation.ValidationError):
+            validation.require_weakly_connected(DynamicDiGraph(3, [(0, 1)]))
+
+    def test_require_strongly_connected(self):
+        validation.require_strongly_connected(dgen.directed_cycle(4))
+        with pytest.raises(validation.ValidationError):
+            validation.require_strongly_connected(dgen.directed_path(4))
