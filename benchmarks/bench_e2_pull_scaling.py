@@ -2,6 +2,8 @@
 
 Same sweep as E1 but for the pull process, plus a head-to-head push-vs-pull
 series on the cycle family (the paper proves the same bound for both).
+Both graph backends are exercised (seed-identical rounds, different
+wall-clock); ``--smoke`` shrinks the sweep for CI.
 """
 
 from __future__ import annotations
@@ -14,42 +16,56 @@ from repro.simulation import bounds, stats
 from _bench_helpers import BENCH_SEED, print_table, run_once
 
 SIZES = [16, 32, 64, 96]
+SMOKE_SIZES = [8, 12]
 FAMILIES = ["cycle", "path", "star", "erdos_renyi", "barabasi_albert"]
+BACKENDS = ["list", "array"]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("family", FAMILIES)
-def test_e2_pull_scaling(benchmark, family):
+def test_e2_pull_scaling(benchmark, family, backend, smoke):
     """Pull convergence rounds vs n for one family, with the Theorem-12 fit."""
+    sizes = SMOKE_SIZES if smoke else SIZES
+    trials = 1 if smoke else 3
     measurement = run_once(
         benchmark,
         measure_scaling,
         "pull",
         family,
-        sizes=SIZES,
-        trials=3,
+        sizes=sizes,
+        trials=trials,
         seed=BENCH_SEED,
         poly_exponent=1.0,
+        backend=backend,
     )
-    print_table(f"E2 pull scaling on {family}", measurement.as_rows())
+    print_table(f"E2 pull scaling on {family} [{backend}]", measurement.as_rows())
     fit = measurement.power_log_fit
     print(
         f"fit: rounds ~ {fit.coefficient:.3g} * n * (ln n)^{fit.log_exponent:.2f} "
         f"(R^2={fit.r_squared:.3f}); pure power-law exponent "
         f"{measurement.power_fit.exponent:.2f}"
     )
+    if smoke:
+        return  # tiny sizes cannot support the asymptotic shape assertions
     ok, info = stats.bounded_ratio(
-        SIZES, measurement.mean_rounds, bounds.n_log2_n, spread_tolerance=10.0
+        sizes, measurement.mean_rounds, bounds.n_log2_n, spread_tolerance=10.0
     )
     assert ok, f"rounds drifted away from the n log^2 n shape: {info}"
     assert 0.9 < measurement.power_fit.exponent < 2.0
 
 
-def test_e2_push_vs_pull_same_bound(benchmark):
+def test_e2_push_vs_pull_same_bound(benchmark, smoke):
     """Push and pull stay within a small constant factor of each other (same theorem shape)."""
+    sizes = SMOKE_SIZES if smoke else SIZES
+    trials = 1 if smoke else 3
 
     def measure_both():
-        push = measure_scaling("push", "cycle", sizes=SIZES, trials=3, seed=BENCH_SEED)
-        pull = measure_scaling("pull", "cycle", sizes=SIZES, trials=3, seed=BENCH_SEED)
+        push = measure_scaling(
+            "push", "cycle", sizes=sizes, trials=trials, seed=BENCH_SEED, backend="array"
+        )
+        pull = measure_scaling(
+            "pull", "cycle", sizes=sizes, trials=trials, seed=BENCH_SEED, backend="array"
+        )
         return push, pull
 
     push, pull = run_once(benchmark, measure_both)
@@ -60,7 +76,9 @@ def test_e2_push_vs_pull_same_bound(benchmark):
             "pull_rounds": lm,
             "pull/push": lm / pm,
         }
-        for n, pm, lm in zip(SIZES, push.mean_rounds, pull.mean_rounds)
+        for n, pm, lm in zip(sizes, push.mean_rounds, pull.mean_rounds)
     ]
-    print_table("E2 push vs pull on cycles", rows)
+    print_table("E2 push vs pull on cycles [array]", rows)
+    if smoke:
+        return
     assert all(0.2 < r["pull/push"] < 5.0 for r in rows)

@@ -12,7 +12,28 @@ sys.path.insert(0, os.path.dirname(__file__))
 from _bench_helpers import BENCH_SEED  # noqa: E402
 
 
+def pytest_addoption(parser) -> None:
+    """Register the benchmark smoke switch.
+
+    ``--smoke`` shrinks every benchmark to one tiny configuration so CI can
+    exercise the bench entry points end-to-end in seconds without paying
+    for full experiment regeneration.
+    """
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks at one tiny size with a single trial (CI smoke mode)",
+    )
+
+
 @pytest.fixture
 def bench_seed() -> int:
     """The shared root seed for all benchmark measurements."""
     return BENCH_SEED
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """True when the suite runs in ``--smoke`` mode."""
+    return bool(request.config.getoption("--smoke"))

@@ -82,6 +82,7 @@ def measure_scaling(
     poly_exponent: float = 1.0,
     max_rounds: Optional[int] = None,
     process_kwargs: Optional[Dict] = None,
+    backend: str = "list",
 ) -> ScalingMeasurement:
     """Sweep ``process`` over ``family`` at the given sizes and fit growth laws.
 
@@ -102,6 +103,10 @@ def measure_scaling(
         Whether ``family`` is in the directed registry.
     poly_exponent:
         Fixed polynomial exponent for the theorem-shaped fit.
+    backend:
+        Graph backend for every trial (``"list"`` or ``"array"``).  The
+        measured rounds are backend-independent for a fixed seed; only the
+        wall-clock cost changes.
     """
     if len(sizes) < 2:
         raise ValueError("scaling measurement needs at least two sizes")
@@ -117,6 +122,7 @@ def measure_scaling(
             directed=directed,
             process_kwargs=dict(process_kwargs or {}),
             max_rounds=max_rounds,
+            backend=backend,
         )
         trials_out = run_trials(spec, root_seed=seed)
         summary = summarize_trials(trials_out)

@@ -42,7 +42,8 @@ class RandomPointerJump(DiscoveryProcess):
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
     ) -> None:
         super().__init__(graph, rng, semantics)
-        self._directed = isinstance(graph, DynamicDiGraph)
+        # Flag-based so the array-backend graphs classify correctly too.
+        self._directed = bool(getattr(graph, "directed", False))
         if self._directed:
             closure = transitive_closure_edges(graph)
             self._missing = {e for e in closure if not graph.has_edge(*e)}

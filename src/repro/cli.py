@@ -76,6 +76,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n=args.n,
         trials=args.trials,
         directed=args.directed,
+        backend=args.backend,
     )
     trials = run_trials(spec, root_seed=args.seed)
     summary = summarize_trials(trials)
@@ -95,6 +96,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         seed=args.seed,
         directed=args.directed,
         poly_exponent=args.poly_exponent,
+        backend=args.backend,
     )
     _print_table(measurement.as_rows())
     _save_rows(measurement.as_rows(), args)
@@ -167,6 +169,7 @@ def _cmd_directed(args: argparse.Namespace) -> int:
         seed=args.seed,
         directed=True,
         poly_exponent=2.0,
+        backend=args.backend,
     )
     _print_table(measurement.as_rows())
     print()
@@ -192,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trials", type=int, default=3)
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--directed", action="store_true")
+    p_run.add_argument(
+        "--backend",
+        choices=["list", "array"],
+        default="list",
+        help="graph backend: list (default) or the vectorized array fast path",
+    )
     p_run.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_run.set_defaults(func=_cmd_run)
 
@@ -203,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_scaling.add_argument("--seed", type=int, default=None)
     p_scaling.add_argument("--directed", action="store_true")
     p_scaling.add_argument("--poly-exponent", type=float, default=1.0)
+    p_scaling.add_argument(
+        "--backend",
+        choices=["list", "array"],
+        default="list",
+        help="graph backend: list (default) or the vectorized array fast path",
+    )
     p_scaling.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_scaling.set_defaults(func=_cmd_scaling)
 
@@ -225,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_dir.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 24])
     p_dir.add_argument("--trials", type=int, default=3)
     p_dir.add_argument("--seed", type=int, default=None)
+    p_dir.add_argument(
+        "--backend",
+        choices=["list", "array"],
+        default="list",
+        help="graph backend: list (default) or the vectorized array fast path",
+    )
     p_dir.set_defaults(func=_cmd_directed)
 
     return parser

@@ -8,7 +8,13 @@
   participation, churn) from the paper's conclusion.
 """
 
-from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.core.base import (
+    BatchProposals,
+    DiscoveryProcess,
+    RoundResult,
+    UpdateSemantics,
+    id_bits,
+)
 from repro.core.push import PushDiscovery
 from repro.core.pull import PullDiscovery
 from repro.core.directed import DirectedTwoHopWalk
@@ -39,9 +45,11 @@ __all__ = [
     "RoundRobinActivation",
     "PoissonLikeActivation",
     "ScheduledProcess",
+    "BatchProposals",
     "DiscoveryProcess",
     "RoundResult",
     "UpdateSemantics",
+    "id_bits",
     "PushDiscovery",
     "PullDiscovery",
     "DirectedTwoHopWalk",

@@ -7,27 +7,58 @@ are append-only and proposals are sampled before any edge is applied, the
 synchronous semantics is achieved without copying the graph: a round
 first collects every node's proposed edge(s) and only then applies them.
 
+Synchronous rounds are executed through :meth:`DiscoveryProcess.propose_batch`,
+which the concrete processes override with vectorized kernels (one bulk RNG
+draw per sampling stage, whole-array index math, a batched edge insert).
+The base implementation falls back to calling :meth:`propose` per node, so
+processes that customise ``propose`` — the faulty variants' churn wrapper,
+user subclasses — keep their exact per-node behaviour.  The bulk draw
+convention is shared by the list and array graph backends
+(see :mod:`repro.graphs.sampling`), which makes seeded traces identical
+across backends under ``UpdateSemantics.SYNCHRONOUS``.
+
 A ``sequential`` update mode is provided as an ablation (nodes act in index
 order and see edges added earlier in the same round) — the paper's proofs
 are for the synchronous mode, and experiment E1/E2 variants measure the
-difference empirically.
+difference empirically.  The sequential mode always uses the per-node path.
 """
 
 from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph, as_backend, backend_name
 
-__all__ = ["UpdateSemantics", "RoundResult", "RunResult", "DiscoveryProcess"]
+__all__ = [
+    "UpdateSemantics",
+    "RoundResult",
+    "RunResult",
+    "BatchProposals",
+    "DiscoveryProcess",
+    "id_bits",
+]
 
-GraphLike = Union[DynamicGraph, DynamicDiGraph]
+GraphLike = Union[DynamicGraph, DynamicDiGraph, ArrayGraph, ArrayDiGraph]
 Edge = Tuple[int, int]
+
+
+def id_bits(n: int) -> int:
+    """Bits needed to name one node among ``n`` — ``max(1, ceil(log2 n))``.
+
+    This is the paper's ``O(log n)``-bit message payload unit.  It is the
+    single authority for bit accounting: the round engine (both the bulk
+    and the per-node accounting paths) and the message-level network layer
+    all charge ``id_bits(n)`` per transmitted node ID, so the two backends
+    can never drift apart on ``bits_sent``.  Degenerate sizes are pinned by
+    tests: a 1- or 2-node system still pays 1 bit per ID.
+    """
+    return max(1, (max(int(n), 2) - 1).bit_length())
 
 
 class UpdateSemantics(str, enum.Enum):
@@ -45,7 +76,6 @@ class UpdateSemantics(str, enum.Enum):
     SEQUENTIAL = "sequential"
 
 
-@dataclass
 class RoundResult:
     """Outcome of a single round.
 
@@ -57,6 +87,9 @@ class RoundResult:
         Every edge proposed by some node this round (including duplicates
         and already-present edges), in node order.  Length equals the
         number of participating nodes for single-proposal processes.
+        Materialised lazily when the round came from a vectorized kernel —
+        hot convergence loops never touch it, so they never pay for the
+        tuple conversion.
     added_edges:
         The subset of proposals that were genuinely new edges.
     messages_sent:
@@ -65,16 +98,76 @@ class RoundResult:
         Total message payload in bits, assuming ``ceil(log2 n)``-bit node IDs.
     """
 
-    round_index: int
-    proposed_edges: List[Edge] = field(default_factory=list)
-    added_edges: List[Edge] = field(default_factory=list)
-    messages_sent: int = 0
-    bits_sent: int = 0
+    __slots__ = ("round_index", "added_edges", "messages_sent", "bits_sent", "_proposed", "_batch")
+
+    def __init__(
+        self,
+        round_index: int,
+        proposed_edges: Optional[List[Edge]] = None,
+        added_edges: Optional[List[Edge]] = None,
+        messages_sent: int = 0,
+        bits_sent: int = 0,
+    ) -> None:
+        self.round_index = round_index
+        self._proposed: Optional[List[Edge]] = (
+            proposed_edges if proposed_edges is not None else []
+        )
+        self._batch: Optional["BatchProposals"] = None
+        self.added_edges: List[Edge] = added_edges if added_edges is not None else []
+        self.messages_sent = messages_sent
+        self.bits_sent = bits_sent
+
+    @property
+    def proposed_edges(self) -> List[Edge]:
+        """This round's proposals as tuples (materialised on first access)."""
+        if self._proposed is None:
+            self._proposed = self._batch.edges() if self._batch is not None else []
+        return self._proposed
+
+    @proposed_edges.setter
+    def proposed_edges(self, value: List[Edge]) -> None:
+        self._proposed = value
+        self._batch = None
+
+    def attach_batch(self, batch: "BatchProposals") -> None:
+        """Record the array-form proposals, deferring tuple conversion."""
+        self._batch = batch
+        self._proposed = None
 
     @property
     def num_added(self) -> int:
         """Number of new edges created this round."""
         return len(self.added_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundResult(round_index={self.round_index}, "
+            f"added={self.num_added}, messages={self.messages_sent}, bits={self.bits_sent})"
+        )
+
+
+class BatchProposals:
+    """Array-form result of a vectorized synchronous round's sampling stage.
+
+    The vectorized ``propose_batch`` kernels return this instead of a
+    per-node pairs list so the round engine can stay in NumPy all the way
+    to the batched edge insert.  ``us``/``vs`` hold the endpoints of the
+    *valid* proposals only, in node order; ``pos`` maps each proposal back
+    to its index among the round's ``count`` participating nodes (used by
+    the faulty variants to align their bulk failure draw).
+    """
+
+    __slots__ = ("count", "us", "vs", "pos")
+
+    def __init__(self, count: int, us: np.ndarray, vs: np.ndarray, pos: np.ndarray) -> None:
+        self.count = count
+        self.us = us
+        self.vs = vs
+        self.pos = pos
+
+    def edges(self) -> List[Edge]:
+        """The proposals as plain ``(u, v)`` tuples in node order."""
+        return list(zip(self.us.tolist(), self.vs.tolist()))
 
 
 @dataclass
@@ -124,6 +217,13 @@ class DiscoveryProcess(abc.ABC):
         choice of the process flows through this generator.
     semantics:
         Synchronous (paper model, default) or sequential updates.
+    backend:
+        Optional graph backend selector: ``"list"`` (per-node Python lists,
+        the default substrate) or ``"array"`` (preallocated NumPy arrays,
+        the vectorized fast path).  When given, the graph is converted with
+        :func:`repro.graphs.array_adjacency.as_backend`; when ``None`` the
+        graph is used as passed.  Both backends produce identical seeded
+        traces under synchronous semantics.
     """
 
     #: messages sent per participating node per round (overridden by subclasses).
@@ -134,8 +234,12 @@ class DiscoveryProcess(abc.ABC):
         graph: GraphLike,
         rng: Union[np.random.Generator, int, None] = None,
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None:
+            graph = as_backend(graph, backend)
         self.graph = graph
+        self.backend = backend_name(graph)
         if isinstance(rng, np.random.Generator):
             self.rng = rng
         else:
@@ -145,7 +249,7 @@ class DiscoveryProcess(abc.ABC):
         self.total_edges_added = 0
         self.total_messages = 0
         self.total_bits = 0
-        self._id_bits = max(1, int(np.ceil(np.log2(max(graph.n, 2)))))
+        self._id_bits = id_bits(graph.n)
 
     # ------------------------------------------------------------------ #
     # to be provided by subclasses
@@ -183,6 +287,62 @@ class DiscoveryProcess(abc.ABC):
         """Insert a proposed edge into the graph; returns True when new."""
         return self.graph.add_edge(*edge)
 
+    def propose_batch(
+        self, nodes: Iterable[int]
+    ) -> Union[List[Tuple[int, Optional[Edge]]], BatchProposals]:
+        """Collect every node's proposal for one synchronous round.
+
+        The base implementation calls :meth:`propose` per node and returns
+        ``(node, proposal)`` pairs in node order, one per participating node
+        (``None`` proposals included — they still pay their messages).  The
+        concrete processes override this with vectorized kernels that return
+        a :class:`BatchProposals` instead, and fall back here whenever
+        ``propose`` or the message accounting has been customised (so
+        wrappers that patch ``propose`` keep working unchanged).
+        """
+        return [(node, self.propose(node)) for node in nodes]
+
+    def apply_proposals(
+        self, proposed: Optional[List[Edge]], batch: Optional[BatchProposals] = None
+    ) -> List[Edge]:
+        """Apply a round's proposals to the graph; return the new edges in order.
+
+        Uses the graph's batched insert when :meth:`apply_edge` has not been
+        customised (the batch contract matches sequential first-occurrence
+        application exactly) — staying in array form when the proposals came
+        from a vectorized kernel; otherwise applies edge by edge through
+        :meth:`apply_edge` so subclass bookkeeping stays correct.
+        ``proposed=None`` means "derive the tuples from ``batch`` if a
+        non-array path actually needs them".
+        """
+        if "apply_edge" not in self.__dict__ and type(self).apply_edge is DiscoveryProcess.apply_edge:
+            if batch is not None:
+                arrays = getattr(self.graph, "add_edges_batch_arrays", None)
+                if arrays is not None:
+                    return arrays(batch.us, batch.vs)
+            tuple_batch = getattr(self.graph, "add_edges_batch", None)
+            if tuple_batch is not None:
+                return tuple_batch(proposed if proposed is not None else batch.edges())
+        if proposed is None:
+            proposed = batch.edges() if batch is not None else []
+        return [edge for edge in proposed if self.apply_edge(edge)]
+
+    def _propose_is(self, owner: type) -> bool:
+        """True when ``self.propose`` is exactly ``owner.propose`` (not customised).
+
+        Vectorized ``propose_batch`` kernels are only valid when the scalar
+        rule they mirror is the one in effect; both subclass overrides and
+        instance-level patches (e.g. the churn wrapper) force the fallback.
+        """
+        return "propose" not in self.__dict__ and type(self).propose is owner.propose
+
+    def _default_accounting(self) -> bool:
+        """True when message accounting follows the flat per-node default."""
+        return (
+            "messages_for_proposal" not in self.__dict__
+            and type(self).messages_for_proposal is DiscoveryProcess.messages_for_proposal
+        )
+
     # ------------------------------------------------------------------ #
     # the round engine
     # ------------------------------------------------------------------ #
@@ -190,18 +350,30 @@ class DiscoveryProcess(abc.ABC):
         """Execute one synchronous (or sequential) round and return its result."""
         result = RoundResult(round_index=self.round_index)
         if self.semantics is UpdateSemantics.SYNCHRONOUS:
-            proposals: List[Tuple[int, Optional[Edge]]] = [
-                (node, self.propose(node)) for node in self.participating_nodes()
-            ]
-            for node, edge in proposals:
-                msgs, bits = self.messages_for_proposal(node, edge)
-                result.messages_sent += msgs
-                result.bits_sent += bits
-                if edge is None:
-                    continue
-                result.proposed_edges.append(edge)
-                if self.apply_edge(edge):
-                    result.added_edges.append(edge)
+            proposals = self.propose_batch(self.participating_nodes())
+            if isinstance(proposals, BatchProposals):
+                array_batch: Optional[BatchProposals] = proposals
+                pairs: List[Tuple[int, Optional[Edge]]] = []
+                participants = proposals.count
+                result.attach_batch(proposals)
+                proposed: Optional[List[Edge]] = None
+            else:
+                array_batch = None
+                pairs = proposals
+                participants = len(pairs)
+                proposed = [edge for _, edge in pairs if edge is not None]
+                result.proposed_edges = proposed
+            if self._default_accounting():
+                result.messages_sent = self.MESSAGES_PER_NODE * participants
+                result.bits_sent = result.messages_sent * self._id_bits
+            else:
+                # Only the pairs lane can reach here: the vectorized kernels
+                # fall back to the per-node path under custom accounting.
+                for node, edge in pairs:
+                    msgs, bits = self.messages_for_proposal(node, edge)
+                    result.messages_sent += msgs
+                    result.bits_sent += bits
+            result.added_edges = self.apply_proposals(proposed, batch=array_batch)
         else:  # sequential ablation
             for node in self.participating_nodes():
                 edge = self.propose(node)

@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.base import DiscoveryProcess
-from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
 
 __all__ = [
     "complete_graph_reached",
@@ -28,7 +27,7 @@ Predicate = Callable[[DiscoveryProcess], bool]
 def complete_graph_reached(process: DiscoveryProcess) -> bool:
     """True when the (undirected) graph has every possible edge."""
     graph = process.graph
-    if isinstance(graph, DynamicGraph):
+    if not graph.directed:
         return graph.is_complete()
     # A digraph is "complete" when every ordered pair is present.
     return graph.number_of_edges() == graph.n * (graph.n - 1)
@@ -53,7 +52,7 @@ def min_degree_reached(threshold: int) -> Predicate:
 
     def predicate(process: DiscoveryProcess) -> bool:
         graph = process.graph
-        if isinstance(graph, DynamicGraph):
+        if not graph.directed:
             return graph.min_degree() >= threshold
         return int(graph.out_degrees().min()) >= threshold
 

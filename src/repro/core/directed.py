@@ -14,11 +14,11 @@ and an ``Ω(n² log n)`` weakly-connected lower bound; Theorem 15 gives an
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple, Union
+from typing import Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from repro.core.base import DiscoveryProcess, UpdateSemantics
+from repro.core.base import BatchProposals, DiscoveryProcess, UpdateSemantics
 from repro.graphs.adjacency import DynamicDiGraph
 from repro.graphs.closure import transitive_closure_edges
 
@@ -43,6 +43,9 @@ class DirectedTwoHopWalk(DiscoveryProcess):
         Seed or :class:`numpy.random.Generator`.
     semantics:
         Synchronous (default) or sequential updates.
+    backend:
+        Optional graph backend selector (``"list"`` or ``"array"``); see
+        :class:`DiscoveryProcess`.
     """
 
     #: request to v, reply with w's ID, introduction/edge creation toward w.
@@ -53,10 +56,14 @@ class DirectedTwoHopWalk(DiscoveryProcess):
         graph: DynamicDiGraph,
         rng: Union[np.random.Generator, int, None] = None,
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+        backend: Optional[str] = None,
     ) -> None:
-        if not isinstance(graph, DynamicDiGraph):
-            raise TypeError("DirectedTwoHopWalk requires a DynamicDiGraph")
-        super().__init__(graph, rng, semantics)
+        if not getattr(graph, "directed", False):
+            raise TypeError(
+                "DirectedTwoHopWalk requires a directed graph (DynamicDiGraph or ArrayDiGraph)"
+            )
+        super().__init__(graph, rng, semantics, backend=backend)
+        graph = self.graph  # the backend conversion may have replaced it
         self._target_closure: Set[Tuple[int, int]] = transitive_closure_edges(graph)
         self._missing: Set[Tuple[int, int]] = {
             e for e in self._target_closure if not graph.has_edge(*e)
@@ -68,21 +75,61 @@ class DirectedTwoHopWalk(DiscoveryProcess):
     def propose(self, node: int) -> Optional[Tuple[int, int]]:
         """Sample the endpoint of ``node``'s directed two-hop walk this round."""
         out = self.graph.out_neighbors(node)
-        if not out:
+        if len(out) == 0:
             return None
         v = self.graph.random_out_neighbor(node, self.rng)
         v_out = self.graph.out_neighbors(v)
-        if not v_out:
+        if len(v_out) == 0:
             return None
         w = self.graph.random_out_neighbor(v, self.rng)
         if w == node:
             return None
         return node, w
 
+    def propose_batch(self, nodes: Iterable[int]):
+        """Vectorized directed round: both hops of every walk in two bulk draws."""
+        if (
+            not self._propose_is(DirectedTwoHopWalk)
+            or not self._default_accounting()
+            or not hasattr(self.graph, "random_out_neighbors")
+        ):
+            return super().propose_batch(nodes)
+        return self._propose_batch_kernel(nodes)
+
+    def _propose_batch_kernel(self, nodes: Iterable[int]) -> BatchProposals:
+        """The raw kernel: ``-1`` sentinels chain dead ends through both hops."""
+        graph = self.graph
+        nodes = np.asarray(nodes, dtype=np.int64)
+        vs = graph.random_out_neighbors(nodes, self.rng)
+        ws = graph.random_out_neighbors(vs, self.rng)
+        valid = (ws >= 0) & (ws != nodes)
+        pos = np.flatnonzero(valid)
+        return BatchProposals(nodes.shape[0], nodes[pos], ws[pos], pos)
+
     def apply_edge(self, edge: Tuple[int, int]) -> bool:
         """Insert the edge and keep the missing-closure counter up to date."""
         added = self.graph.add_edge(*edge)
         if added:
+            self._missing.discard(edge)
+        return added
+
+    def apply_proposals(
+        self,
+        proposed: Optional[List[Tuple[int, int]]],
+        batch: Optional[BatchProposals] = None,
+    ) -> List[Tuple[int, int]]:
+        """Batched insert plus missing-closure bookkeeping over the new edges only."""
+        if "apply_edge" in self.__dict__ or type(self).apply_edge is not DirectedTwoHopWalk.apply_edge:
+            if proposed is None:
+                proposed = batch.edges() if batch is not None else []
+            return [edge for edge in proposed if self.apply_edge(edge)]
+        if batch is not None and hasattr(self.graph, "add_edges_batch_arrays"):
+            added = self.graph.add_edges_batch_arrays(batch.us, batch.vs)
+        elif hasattr(self.graph, "add_edges_batch"):
+            added = self.graph.add_edges_batch(proposed if proposed is not None else [])
+        else:
+            added = [edge for edge in (proposed or []) if self.graph.add_edge(*edge)]
+        for edge in added:
             self._missing.discard(edge)
         return added
 

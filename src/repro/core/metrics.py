@@ -15,7 +15,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.base import DiscoveryProcess, RoundResult
-from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
 from repro.graphs import properties
 
 __all__ = ["RoundMetrics", "MetricsRecorder"]
@@ -55,7 +54,7 @@ class MetricsRecorder:
 
     def __call__(self, process: DiscoveryProcess, result: RoundResult) -> None:
         graph = process.graph
-        if isinstance(graph, DynamicGraph):
+        if not graph.directed:
             degrees = graph.degrees()
             missing = graph.missing_edges()
         else:
@@ -74,7 +73,7 @@ class MetricsRecorder:
         )
         if (
             self.expensive_every > 0
-            and isinstance(graph, DynamicGraph)
+            and not graph.directed
             and result.round_index % self.expensive_every == 0
             and properties.is_connected(graph)
         ):

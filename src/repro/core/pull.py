@@ -15,11 +15,11 @@ complete graph in ``O(n log² n)`` rounds w.h.p.; Theorem 13 gives the
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.base import DiscoveryProcess, UpdateSemantics
+from repro.core.base import BatchProposals, DiscoveryProcess, UpdateSemantics
 from repro.graphs.adjacency import DynamicGraph
 
 __all__ = ["PullDiscovery"]
@@ -36,6 +36,9 @@ class PullDiscovery(DiscoveryProcess):
         Seed or :class:`numpy.random.Generator`.
     semantics:
         Synchronous (default) or sequential updates.
+    backend:
+        Optional graph backend selector (``"list"`` or ``"array"``); see
+        :class:`DiscoveryProcess`.
     """
 
     #: request to v, reply with w's ID, introduction message to w.
@@ -46,15 +49,16 @@ class PullDiscovery(DiscoveryProcess):
         graph: DynamicGraph,
         rng: Union[np.random.Generator, int, None] = None,
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+        backend: Optional[str] = None,
     ) -> None:
-        if not isinstance(graph, DynamicGraph):
-            raise TypeError("PullDiscovery requires an undirected DynamicGraph")
-        super().__init__(graph, rng, semantics)
+        if getattr(graph, "directed", True):
+            raise TypeError("PullDiscovery requires an undirected graph (DynamicGraph or ArrayGraph)")
+        super().__init__(graph, rng, semantics, backend=backend)
 
     def propose(self, node: int) -> Optional[Tuple[int, int]]:
         """Sample the endpoint of ``node``'s two-hop walk this round."""
         nbrs = self.graph.neighbors(node)
-        if not nbrs:
+        if len(nbrs) == 0:
             return None
         v = self.graph.random_neighbor(node, self.rng)
         w = self.graph.random_neighbor(v, self.rng)
@@ -62,6 +66,31 @@ class PullDiscovery(DiscoveryProcess):
             # The walk returned home: no new contact this round.
             return None
         return node, w
+
+    def propose_batch(self, nodes: Iterable[int]):
+        """Vectorized pull round: both hops of every node's walk in two bulk draws."""
+        if (
+            not self._propose_is(PullDiscovery)
+            or not self._default_accounting()
+            or not hasattr(self.graph, "random_neighbors")
+        ):
+            return super().propose_batch(nodes)
+        return self._propose_batch_kernel(nodes)
+
+    def _propose_batch_kernel(self, nodes: Iterable[int]) -> BatchProposals:
+        """The raw kernel: hop one over all nodes, hop two over the sampled ``v``s.
+
+        The second hop chains through the ``-1`` sentinel, so isolated nodes
+        consume their uniforms (keeping the draw stream aligned across
+        backends) without ever touching a neighbour row.
+        """
+        graph = self.graph
+        nodes = np.asarray(nodes, dtype=np.int64)
+        vs = graph.random_neighbors(nodes, self.rng)
+        ws = graph.random_neighbors(vs, self.rng)
+        valid = (vs >= 0) & (ws >= 0) & (ws != nodes)
+        pos = np.flatnonzero(valid)
+        return BatchProposals(nodes.shape[0], nodes[pos], ws[pos], pos)
 
     def is_converged(self) -> bool:
         """The absorbing state of the undirected processes is the complete graph."""

@@ -14,12 +14,13 @@ complete graph in ``O(n log² n)`` rounds w.h.p.; Theorem 9 gives the
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.base import DiscoveryProcess, UpdateSemantics
+from repro.core.base import BatchProposals, DiscoveryProcess, UpdateSemantics
 from repro.graphs.adjacency import DynamicGraph
+from repro.graphs.sampling import uniform_indices
 
 __all__ = ["PushDiscovery"]
 
@@ -40,6 +41,9 @@ class PushDiscovery(DiscoveryProcess):
         the two introduced neighbours are drawn *without* replacement, so a
         node never wastes a round introducing a neighbour to itself.  The
         paper's process uses with-replacement sampling (default False).
+    backend:
+        Optional graph backend selector (``"list"`` or ``"array"``); see
+        :class:`DiscoveryProcess`.
     """
 
     #: a push round sends each chosen neighbour the other's ID.
@@ -51,10 +55,11 @@ class PushDiscovery(DiscoveryProcess):
         rng: Union[np.random.Generator, int, None] = None,
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
         without_replacement: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        if not isinstance(graph, DynamicGraph):
-            raise TypeError("PushDiscovery requires an undirected DynamicGraph")
-        super().__init__(graph, rng, semantics)
+        if getattr(graph, "directed", True):
+            raise TypeError("PushDiscovery requires an undirected graph (DynamicGraph or ArrayGraph)")
+        super().__init__(graph, rng, semantics, backend=backend)
         self.without_replacement = without_replacement
 
     def propose(self, node: int) -> Optional[Tuple[int, int]]:
@@ -75,6 +80,42 @@ class PushDiscovery(DiscoveryProcess):
             # as the node's action (and its messages) for this round.
             return None
         return v, w
+
+    def propose_batch(self, nodes: Iterable[int]):
+        """Vectorized push round: all nodes' neighbour pairs in two bulk draws."""
+        if (
+            not self._propose_is(PushDiscovery)
+            or not self._default_accounting()
+            or not hasattr(self.graph, "random_neighbors")
+        ):
+            return super().propose_batch(nodes)
+        return self._propose_batch_kernel(nodes)
+
+    def _propose_batch_kernel(self, nodes: Iterable[int]) -> BatchProposals:
+        """The raw kernel, draw-stream-identical on every backend.
+
+        With replacement (the paper's process): one ``rng.random(m)`` per
+        introduced endpoint, mapped to indices by the shared sampling rule.
+        Without replacement: two bulk draws over ``k`` and ``k - 1`` slots
+        with the collision-shift, so no draw is wasted on ``v == w``.
+        """
+        graph = self.graph
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if self.without_replacement:
+            u = self.rng.random((2, nodes.shape[0]))
+            deg = graph.degrees()[nodes]
+            i = uniform_indices(u[0], deg)
+            j = uniform_indices(u[1], deg - 1)
+            j = np.where(j >= i, j + 1, j)
+            vs = graph.neighbors_at(nodes, i)
+            ws = graph.neighbors_at(nodes, np.where(deg >= 2, j, -1))
+            valid = deg >= 2
+        else:
+            vs = graph.random_neighbors(nodes, self.rng)
+            ws = graph.random_neighbors(nodes, self.rng)
+            valid = (vs >= 0) & (vs != ws)
+        pos = np.flatnonzero(valid)
+        return BatchProposals(nodes.shape[0], vs[pos], ws[pos], pos)
 
     def is_converged(self) -> bool:
         """The absorbing state of the undirected processes is the complete graph."""

@@ -23,7 +23,7 @@ from typing import Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from repro.core.base import UpdateSemantics
+from repro.core.base import BatchProposals, DiscoveryProcess, UpdateSemantics
 from repro.core.push import PushDiscovery
 from repro.core.pull import PullDiscovery
 from repro.graphs.adjacency import DynamicGraph
@@ -57,6 +57,30 @@ class _FaultyMixin:
     def _connection_fails(self) -> bool:
         return self.failure_prob > 0.0 and float(self.rng.random()) < self.failure_prob
 
+    def _faulty_propose_batch(self, nodes, owner):
+        """Vectorized faulty round: base kernel plus one bulk failure draw.
+
+        With ``failure_prob == 0`` this is draw-for-draw identical to the
+        fault-free process, preserving the "zero faults behaves like the
+        base process" contract on every backend.  ``owner`` is the concrete
+        faulty class whose ``propose`` pairs with this batch rule; any
+        further customisation falls back to the per-node path.
+        """
+        if (
+            not self._propose_is(owner)
+            or not self._default_accounting()
+            or not hasattr(self.graph, "random_neighbors")
+        ):
+            return DiscoveryProcess.propose_batch(self, nodes)
+        batch = self._propose_batch_kernel(nodes)
+        if self.failure_prob > 0.0 and batch.count:
+            # One uniform per participating node (drawn after the proposals,
+            # like the scalar path) masks out the lost introductions.
+            fails = self.rng.random(batch.count) < self.failure_prob
+            keep = np.flatnonzero(~fails[batch.pos])
+            batch = BatchProposals(batch.count, batch.us[keep], batch.vs[keep], batch.pos[keep])
+        return batch
+
 
 class FaultyPushDiscovery(_FaultyMixin, PushDiscovery):
     """Triangulation with lossy introductions and partial participation."""
@@ -78,6 +102,10 @@ class FaultyPushDiscovery(_FaultyMixin, PushDiscovery):
             return None
         return edge
 
+    def propose_batch(self, nodes):
+        """Vectorized faulty push (see :meth:`_FaultyMixin._faulty_propose_batch`)."""
+        return self._faulty_propose_batch(nodes, FaultyPushDiscovery)
+
 
 class FaultyPullDiscovery(_FaultyMixin, PullDiscovery):
     """Two-hop walk with lossy introductions and partial participation."""
@@ -98,6 +126,10 @@ class FaultyPullDiscovery(_FaultyMixin, PullDiscovery):
         if edge is not None and self._connection_fails():
             return None
         return edge
+
+    def propose_batch(self, nodes):
+        """Vectorized faulty pull (see :meth:`_FaultyMixin._faulty_propose_batch`)."""
+        return self._faulty_propose_batch(nodes, FaultyPullDiscovery)
 
 
 class ChurnModel:

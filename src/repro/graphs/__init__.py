@@ -11,14 +11,27 @@ validation helpers (:mod:`repro.graphs.validation`).
 """
 
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
-from repro.graphs import generators, directed_generators, properties, closure, validation
+from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph, BACKENDS, as_backend
+from repro.graphs import (
+    generators,
+    directed_generators,
+    properties,
+    closure,
+    sampling,
+    validation,
+)
 
 __all__ = [
     "DynamicGraph",
     "DynamicDiGraph",
+    "ArrayGraph",
+    "ArrayDiGraph",
+    "BACKENDS",
+    "as_backend",
     "generators",
     "directed_generators",
     "properties",
     "closure",
+    "sampling",
     "validation",
 ]

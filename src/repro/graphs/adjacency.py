@@ -34,6 +34,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro.graphs.sampling import masked_counts, uniform_indices
+
 __all__ = ["DynamicGraph", "DynamicDiGraph"]
 
 
@@ -62,6 +64,9 @@ class DynamicGraph:
     """
 
     __slots__ = ("_n", "_neighbors", "_edge_set", "_num_edges", "_degrees")
+
+    #: backend dispatch flag: undirected graphs expose degree()/neighbors().
+    directed = False
 
     def __init__(self, n: int, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
         if n < 0:
@@ -173,9 +178,52 @@ class DynamicGraph:
                 added += 1
         return added
 
+    def add_edges_batch(self, edges: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Add a batch of proposed edges; return the genuinely new ones in order.
+
+        Sequential application: within the batch the *first* occurrence of
+        each new edge wins, exactly as if :meth:`add_edge` were called in
+        order.  The array backend implements the same contract vectorised;
+        the round engine relies on both producing identical results.
+        """
+        return [(u, v) for u, v in edges if self.add_edge(u, v)]
+
+    def add_edges_batch_arrays(self, us: np.ndarray, vs: np.ndarray) -> List[Tuple[int, int]]:
+        """Array-argument form of :meth:`add_edges_batch` (same contract)."""
+        return [
+            (u, v) for u, v in zip(us.tolist(), vs.tolist()) if self.add_edge(u, v)
+        ]
+
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
+    def random_neighbors(self, nodes: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Sample one uniform neighbour for each node in ``nodes`` (bulk).
+
+        Consumes exactly ``rng.random(len(nodes))`` and maps the uniforms to
+        neighbour indices with :func:`repro.graphs.sampling.uniform_indices`,
+        so the draw stream is identical across backends.  Entries that are
+        ``-1`` or isolated yield ``-1`` (they still consume their uniform).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        u = rng.random(nodes.shape[0])
+        safe, counts = masked_counts(nodes, self._degrees)
+        idx = uniform_indices(u, counts)
+        return self.neighbors_at(safe, idx)
+
+    def neighbors_at(self, nodes: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Gather ``neighbors(nodes[i])[idx[i]]`` per element (``-1`` passthrough)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        idx = np.asarray(idx, dtype=np.int64)
+        out = np.full(nodes.shape[0], -1, dtype=np.int64)
+        sel = np.flatnonzero(idx >= 0)
+        if sel.size:
+            nbrs = self._neighbors
+            out[sel] = [
+                nbrs[node][i] for node, i in zip(nodes[sel].tolist(), idx[sel].tolist())
+            ]
+        return out
+
     def random_neighbor(self, u: int, rng: np.random.Generator) -> int:
         """Sample a uniformly random neighbour of ``u``.
 
@@ -323,6 +371,9 @@ class DynamicDiGraph:
 
     __slots__ = ("_n", "_out", "_edge_set", "_num_edges", "_out_degrees", "_in_degrees")
 
+    #: backend dispatch flag: directed graphs expose out_degree()/out_neighbors().
+    directed = True
+
     def __init__(self, n: int, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
         if n < 0:
             raise ValueError(f"number of nodes must be non-negative, got {n}")
@@ -421,9 +472,45 @@ class DynamicDiGraph:
                 added += 1
         return added
 
+    def add_edges_batch(self, edges: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Add a batch of proposed directed edges; return the new ones in order."""
+        return [(u, v) for u, v in edges if self.add_edge(u, v)]
+
+    def add_edges_batch_arrays(self, us: np.ndarray, vs: np.ndarray) -> List[Tuple[int, int]]:
+        """Array-argument form of :meth:`add_edges_batch` (same contract)."""
+        return [
+            (u, v) for u, v in zip(us.tolist(), vs.tolist()) if self.add_edge(u, v)
+        ]
+
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
+    def random_out_neighbors(self, nodes: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Sample one uniform out-neighbour per node (bulk; ``-1`` sentinel).
+
+        Same draw-stream contract as :meth:`DynamicGraph.random_neighbors`:
+        exactly ``rng.random(len(nodes))`` is consumed regardless of which
+        entries are valid.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        u = rng.random(nodes.shape[0])
+        safe, counts = masked_counts(nodes, self._out_degrees)
+        idx = uniform_indices(u, counts)
+        return self.out_neighbors_at(safe, idx)
+
+    def out_neighbors_at(self, nodes: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Gather ``out_neighbors(nodes[i])[idx[i]]`` per element (``-1`` passthrough)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        idx = np.asarray(idx, dtype=np.int64)
+        out = np.full(nodes.shape[0], -1, dtype=np.int64)
+        sel = np.flatnonzero(idx >= 0)
+        if sel.size:
+            lists = self._out
+            out[sel] = [
+                lists[node][i] for node, i in zip(nodes[sel].tolist(), idx[sel].tolist())
+            ]
+        return out
+
     def random_out_neighbor(self, u: int, rng: np.random.Generator) -> int:
         """Sample a uniformly random out-neighbour of ``u``.
 

@@ -1,0 +1,664 @@
+"""NumPy-array-backed graph backend for the vectorized round engine.
+
+:class:`ArrayGraph` and :class:`ArrayDiGraph` are drop-in substrates for
+the discovery processes that store neighbour lists in one preallocated
+2-D ``int64`` array (one row per node, amortized column doubling) plus a
+dense boolean membership matrix, instead of per-node Python lists and a
+hash set.  Per-round work then becomes whole-array operations:
+
+* ``random_neighbors(nodes, rng)`` — one ``rng.random(m)`` draw and one
+  fancy-indexed gather for a whole batch of nodes;
+* ``add_edges_batch(edges)`` — vectorized duplicate/self-loop rejection
+  with first-occurrence order preserved, then O(1) slot writes for the
+  (few) genuinely new edges.
+
+The classes share the paper's append-only contract with the list backend
+(:mod:`repro.graphs.adjacency`): edges are only ever added.  Because the
+processes converge to the complete graph (or the transitive closure), the
+O(n²) membership matrix matches the asymptotic memory of the final state
+and is not an overhead class-of-its-own.
+
+Draw-stream equivalence
+-----------------------
+Both backends sample through :mod:`repro.graphs.sampling`, consume the
+same number of uniforms per call, and keep neighbour rows in the same
+insertion order, so a process run on ``ArrayGraph`` reproduces the exact
+seeded trace of the same run on ``DynamicGraph`` under synchronous
+semantics.  ``tests/test_backend_equivalence.py`` pins this contract.
+
+Use :func:`as_backend` to convert a graph to the requested backend.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs.sampling import masked_counts, uniform_indices
+
+__all__ = ["ArrayGraph", "ArrayDiGraph", "as_backend", "backend_name", "BACKENDS"]
+
+#: the selectable graph-backend names.
+BACKENDS = ("list", "array")
+
+_MIN_CAPACITY = 4
+
+
+def _round_up_pow2(value: int) -> int:
+    """Smallest power of two >= max(value, _MIN_CAPACITY)."""
+    cap = _MIN_CAPACITY
+    while cap < value:
+        cap *= 2
+    return cap
+
+
+class ArrayGraph:
+    """Undirected simple graph with preallocated NumPy neighbour storage.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (``0 .. n-1``).
+    edges:
+        Optional initial edges; duplicates and self loops are ignored.
+
+    Notes
+    -----
+    API-compatible with :class:`~repro.graphs.adjacency.DynamicGraph` for
+    everything the processes, metrics and tests touch.  Neighbour rows
+    keep insertion order; :meth:`neighbors` returns a live array slice
+    that callers must not mutate.
+    """
+
+    __slots__ = ("_n", "_nbr", "_deg", "_adj", "_num_edges", "_cap")
+
+    #: backend dispatch flag: undirected graphs expose degree()/neighbors().
+    directed = False
+
+    def __init__(self, n: int, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        if n < 0:
+            raise ValueError(f"number of nodes must be non-negative, got {n}")
+        self._n = int(n)
+        self._cap = _MIN_CAPACITY
+        self._nbr = np.full((self._n, self._cap), -1, dtype=np.int64)
+        self._deg = np.zeros(self._n, dtype=np.int64)
+        self._adj = np.zeros((self._n, self._n), dtype=bool)
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        """Current neighbour-row capacity (grows by doubling)."""
+        return self._cap
+
+    def number_of_nodes(self) -> int:
+        """Number of nodes (alias of :attr:`n`)."""
+        return self._n
+
+    def number_of_edges(self) -> int:
+        """Number of distinct undirected edges currently present."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """Iterate over node identifiers ``0 .. n-1``."""
+        return range(self._n)
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        self._check_node(u)
+        return int(self._deg[u])
+
+    def degrees(self) -> np.ndarray:
+        """Return a copy of the degree vector as an ``int64`` numpy array."""
+        return self._deg.copy()
+
+    def min_degree(self) -> int:
+        """Minimum degree over all nodes (0 for an empty graph with nodes)."""
+        if self._n == 0:
+            return 0
+        return int(self._deg.min())
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for an empty graph with nodes)."""
+        if self._n == 0:
+            return 0
+        return int(self._deg.max())
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbour row of ``u`` in insertion order (live view; do not mutate)."""
+        self._check_node(u)
+        return self._nbr[u, : self._deg[u]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if the undirected edge ``(u, v)`` is present."""
+        if u == v:
+            return False
+        return bool(self._adj[u, v])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over the edges as canonical ``(min, max)`` pairs."""
+        us, vs = np.nonzero(np.triu(self._adj))
+        return iter(zip(us.tolist(), vs.tolist()))
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """Return a sorted list of canonical edges (useful for tests)."""
+        return list(self.edges())
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the undirected edge ``(u, v)``; True when genuinely new."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v or self._adj[u, v]:
+            return False
+        self._ensure_capacity(int(max(self._deg[u], self._deg[v])) + 1)
+        self._append(u, v)
+        self._adj[u, v] = True
+        self._adj[v, u] = True
+        self._num_edges += 1
+        return True
+
+    def add_edges_from(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Add many edges; return how many were actually new."""
+        return len(self.add_edges_batch(list(edges)))
+
+    def add_edges_batch(self, edges: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Vectorized batch insert; returns the new edges in first-occurrence order.
+
+        Matches :meth:`DynamicGraph.add_edges_batch` exactly: self loops and
+        duplicates (within the batch or against the graph) are rejected, the
+        first occurrence of each new edge wins, and the returned tuples keep
+        the proposal's original orientation.
+        """
+        if len(edges) == 0:
+            return []
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if arr.size and (arr.min() < 0 or arr.max() >= self._n):
+            raise IndexError(f"edge endpoint out of range [0, {self._n})")
+        return self.add_edges_batch_arrays(arr[:, 0], arr[:, 1])
+
+    def add_edges_batch_arrays(self, us: np.ndarray, vs: np.ndarray) -> List[Tuple[int, int]]:
+        """Array-argument core of :meth:`add_edges_batch` (same contract).
+
+        The hot path of the vectorized round engine: endpoints arrive as the
+        arrays a propose kernel produced, so no tuple round-trip happens.
+        Already-present edges are filtered *before* the within-batch dedupe
+        (the two commute), so late rounds — where almost every proposal
+        already exists — skip the sort entirely.
+        """
+        if us.shape[0] == 0:
+            return []
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        cand = np.flatnonzero((lo != hi) & ~self._adj[lo, hi])
+        if cand.size == 0:
+            return []
+        if cand.size > 1:
+            keys = lo[cand] * np.int64(self._n) + hi[cand]
+            _, first = np.unique(keys, return_index=True)
+            if first.size != cand.size:
+                first.sort()
+                cand = cand[first]
+        add_u, add_v = us[cand], vs[cand]
+        self._write_new_edges(add_u, add_v)
+        self._adj[add_u, add_v] = True
+        self._adj[add_v, add_u] = True
+        self._num_edges += add_u.shape[0]
+        return list(zip(add_u.tolist(), add_v.tolist()))
+
+    def _write_new_edges(self, add_u: np.ndarray, add_v: np.ndarray) -> None:
+        """Scatter the mutual neighbour entries for verified-new edges.
+
+        Grouped slot assignment: interleaving the endpoints (u-entry before
+        v-entry, batch order preserved by the stable sort) reproduces the
+        exact append order of sequential :meth:`add_edge` calls, which keeps
+        neighbour rows identical to the list backend's.
+        """
+        k = add_u.shape[0]
+        ends = np.empty(2 * k, dtype=np.int64)
+        vals = np.empty(2 * k, dtype=np.int64)
+        ends[0::2] = add_u
+        ends[1::2] = add_v
+        vals[0::2] = add_v
+        vals[1::2] = add_u
+        grow = np.bincount(ends, minlength=self._n)
+        self._ensure_capacity(int((self._deg + grow).max()))
+        order = np.argsort(ends, kind="stable")
+        se = ends[order]
+        run_start = np.flatnonzero(np.concatenate(([True], se[1:] != se[:-1])))
+        run_length = np.diff(np.concatenate((run_start, [se.size])))
+        offsets = np.arange(se.size) - np.repeat(run_start, run_length)
+        self._nbr[se, self._deg[se] + offsets] = vals[order]
+        self._deg += grow
+
+    def _append(self, u: int, v: int) -> None:
+        """Write the mutual neighbour entries for a new edge (capacity ensured)."""
+        deg = self._deg
+        self._nbr[u, deg[u]] = v
+        self._nbr[v, deg[v]] = u
+        deg[u] += 1
+        deg[v] += 1
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._cap:
+            return
+        new_cap = _round_up_pow2(needed)
+        grown = np.full((self._n, new_cap), -1, dtype=np.int64)
+        grown[:, : self._cap] = self._nbr
+        self._nbr = grown
+        self._cap = new_cap
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def random_neighbors(self, nodes: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Vectorized uniform neighbour sample for a whole batch of nodes.
+
+        Same draw-stream contract as :meth:`DynamicGraph.random_neighbors`:
+        exactly ``rng.random(len(nodes))`` is consumed and indices come from
+        :func:`repro.graphs.sampling.uniform_indices`, so both backends map
+        the same seed to the same choices.  ``-1`` marks invalid entries.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        u = rng.random(nodes.shape[0])
+        safe, counts = masked_counts(nodes, self._deg)
+        idx = uniform_indices(u, counts)
+        # Inlined gather (same result as neighbors_at, fewer passes).
+        gathered = self._nbr[safe, np.maximum(idx, 0)]
+        return np.where(idx >= 0, gathered, -1)
+
+    def neighbors_at(self, nodes: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Gather ``neighbors(nodes[i])[idx[i]]`` per element (``-1`` passthrough)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        idx = np.asarray(idx, dtype=np.int64)
+        valid = idx >= 0
+        gathered = self._nbr[np.where(valid, nodes, 0), np.where(valid, idx, 0)]
+        return np.where(valid, gathered, -1)
+
+    def random_neighbor(self, u: int, rng: np.random.Generator) -> int:
+        """Sample a uniformly random neighbour of ``u`` (scalar API parity)."""
+        k = int(self._deg[u])
+        if k == 0:
+            raise ValueError(f"node {u} has no neighbors to sample from")
+        return int(self._nbr[u, int(rng.integers(k))])
+
+    def random_neighbor_pair(self, u: int, rng: np.random.Generator) -> Tuple[int, int]:
+        """Sample two independent uniform neighbours of ``u`` (with replacement)."""
+        k = int(self._deg[u])
+        if k == 0:
+            raise ValueError(f"node {u} has no neighbors to sample from")
+        i = int(rng.integers(k))
+        j = int(rng.integers(k))
+        return int(self._nbr[u, i]), int(self._nbr[u, j])
+
+    # ------------------------------------------------------------------ #
+    # derived quantities / conversions
+    # ------------------------------------------------------------------ #
+    def is_complete(self) -> bool:
+        """True when every pair of distinct nodes is connected."""
+        return self._num_edges == self._n * (self._n - 1) // 2
+
+    def missing_edges(self) -> int:
+        """Number of node pairs not yet connected by an edge."""
+        return self._n * (self._n - 1) // 2 - self._num_edges
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Return the dense boolean adjacency matrix (symmetric, zero diagonal)."""
+        return self._adj.copy()
+
+    def copy(self) -> "ArrayGraph":
+        """Return an independent deep copy of the graph."""
+        g = ArrayGraph(self._n)
+        g._cap = self._cap
+        g._nbr = self._nbr.copy()
+        g._deg = self._deg.copy()
+        g._adj = self._adj.copy()
+        g._num_edges = self._num_edges
+        return g
+
+    @classmethod
+    def from_graph(cls, graph: DynamicGraph) -> "ArrayGraph":
+        """Build an :class:`ArrayGraph` preserving per-node neighbour order.
+
+        Preserving insertion order (not just the edge set) is what makes the
+        seeded traces of the two backends identical.
+        """
+        g = cls(graph.n)
+        if graph.n == 0:
+            return g
+        g._ensure_capacity(graph.max_degree())
+        for u in graph.nodes():
+            row = graph.neighbors(u)
+            g._nbr[u, : len(row)] = row
+        g._deg = graph.degrees()
+        edge_arr = np.asarray(graph.edge_list(), dtype=np.int64).reshape(-1, 2)
+        if edge_arr.size:
+            g._adj[edge_arr[:, 0], edge_arr[:, 1]] = True
+            g._adj[edge_arr[:, 1], edge_arr[:, 0]] = True
+        g._num_edges = graph.number_of_edges()
+        return g
+
+    def to_dynamic(self) -> DynamicGraph:
+        """Convert back to a list-backed :class:`DynamicGraph`.
+
+        The result has the same edge set; per-node insertion order follows
+        the canonical edge order (the original global insertion interleaving
+        is not recoverable from per-node rows).
+        """
+        return DynamicGraph(self._n, self.edge_list())
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (ArrayGraph, DynamicGraph)):
+            return self._n == other.n and self.edge_list() == other.edge_list()
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("ArrayGraph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"ArrayGraph(n={self._n}, m={self._num_edges}, cap={self._cap})"
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self._n):
+            raise IndexError(f"node {u} out of range [0, {self._n})")
+
+
+class ArrayDiGraph:
+    """Directed simple graph with preallocated NumPy out-neighbour storage.
+
+    Mirrors :class:`~repro.graphs.adjacency.DynamicDiGraph` the way
+    :class:`ArrayGraph` mirrors :class:`DynamicGraph`: out-neighbour rows in
+    a 2-D array with amortized doubling, membership in a dense boolean
+    matrix, in-degrees as counters for metrics.
+    """
+
+    __slots__ = ("_n", "_out", "_out_deg", "_in_deg", "_adj", "_num_edges", "_cap")
+
+    #: backend dispatch flag: directed graphs expose out_degree()/out_neighbors().
+    directed = True
+
+    def __init__(self, n: int, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        if n < 0:
+            raise ValueError(f"number of nodes must be non-negative, got {n}")
+        self._n = int(n)
+        self._cap = _MIN_CAPACITY
+        self._out = np.full((self._n, self._cap), -1, dtype=np.int64)
+        self._out_deg = np.zeros(self._n, dtype=np.int64)
+        self._in_deg = np.zeros(self._n, dtype=np.int64)
+        self._adj = np.zeros((self._n, self._n), dtype=bool)
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        """Current out-neighbour-row capacity (grows by doubling)."""
+        return self._cap
+
+    def number_of_nodes(self) -> int:
+        """Number of nodes (alias of :attr:`n`)."""
+        return self._n
+
+    def number_of_edges(self) -> int:
+        """Number of distinct directed edges currently present."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """Iterate over node identifiers ``0 .. n-1``."""
+        return range(self._n)
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of node ``u``."""
+        self._check_node(u)
+        return int(self._out_deg[u])
+
+    def in_degree(self, u: int) -> int:
+        """In-degree of node ``u``."""
+        self._check_node(u)
+        return int(self._in_deg[u])
+
+    def out_degrees(self) -> np.ndarray:
+        """Return a copy of the out-degree vector."""
+        return self._out_deg.copy()
+
+    def in_degrees(self) -> np.ndarray:
+        """Return a copy of the in-degree vector."""
+        return self._in_deg.copy()
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Out-neighbour row of ``u`` in insertion order (live view; do not mutate)."""
+        self._check_node(u)
+        return self._out[u, : self._out_deg[u]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if the directed edge ``u -> v`` is present."""
+        return bool(self._adj[u, v])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges ``(u, v)`` in canonical order."""
+        us, vs = np.nonzero(self._adj)
+        return iter(zip(us.tolist(), vs.tolist()))
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """Return a sorted list of directed edges."""
+        return list(self.edges())
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the directed edge ``u -> v``; True when genuinely new."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v or self._adj[u, v]:
+            return False
+        self._ensure_capacity(int(self._out_deg[u]) + 1)
+        self._out[u, self._out_deg[u]] = v
+        self._out_deg[u] += 1
+        self._in_deg[v] += 1
+        self._adj[u, v] = True
+        self._num_edges += 1
+        return True
+
+    def add_edges_from(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Add many directed edges; return how many were actually new."""
+        return len(self.add_edges_batch(list(edges)))
+
+    def add_edges_batch(self, edges: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Vectorized batch insert; returns the new edges in first-occurrence order."""
+        if len(edges) == 0:
+            return []
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if arr.size and (arr.min() < 0 or arr.max() >= self._n):
+            raise IndexError(f"edge endpoint out of range [0, {self._n})")
+        return self.add_edges_batch_arrays(arr[:, 0], arr[:, 1])
+
+    def add_edges_batch_arrays(self, us: np.ndarray, vs: np.ndarray) -> List[Tuple[int, int]]:
+        """Array-argument core of :meth:`add_edges_batch` (same contract).
+
+        Same structure as the undirected version: filter present edges
+        first, dedupe the (usually few) remaining candidates, then scatter
+        the new out-entries with grouped slot assignment.
+        """
+        if us.shape[0] == 0:
+            return []
+        cand = np.flatnonzero((us != vs) & ~self._adj[us, vs])
+        if cand.size == 0:
+            return []
+        if cand.size > 1:
+            keys = us[cand] * np.int64(self._n) + vs[cand]
+            _, first = np.unique(keys, return_index=True)
+            if first.size != cand.size:
+                first.sort()
+                cand = cand[first]
+        add_u, add_v = us[cand], vs[cand]
+        grow = np.bincount(add_u, minlength=self._n)
+        self._ensure_capacity(int((self._out_deg + grow).max()))
+        order = np.argsort(add_u, kind="stable")
+        su = add_u[order]
+        run_start = np.flatnonzero(np.concatenate(([True], su[1:] != su[:-1])))
+        run_length = np.diff(np.concatenate((run_start, [su.size])))
+        offsets = np.arange(su.size) - np.repeat(run_start, run_length)
+        self._out[su, self._out_deg[su] + offsets] = add_v[order]
+        self._out_deg += grow
+        self._in_deg += np.bincount(add_v, minlength=self._n)
+        self._adj[add_u, add_v] = True
+        self._num_edges += add_u.shape[0]
+        return list(zip(add_u.tolist(), add_v.tolist()))
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._cap:
+            return
+        new_cap = _round_up_pow2(needed)
+        grown = np.full((self._n, new_cap), -1, dtype=np.int64)
+        grown[:, : self._cap] = self._out
+        self._out = grown
+        self._cap = new_cap
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def random_out_neighbors(self, nodes: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Vectorized uniform out-neighbour sample (``-1`` sentinel, bulk draws).
+
+        Draw-stream identical to :meth:`DynamicDiGraph.random_out_neighbors`.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        u = rng.random(nodes.shape[0])
+        safe, counts = masked_counts(nodes, self._out_deg)
+        idx = uniform_indices(u, counts)
+        # Inlined gather (same result as out_neighbors_at, fewer passes).
+        gathered = self._out[safe, np.maximum(idx, 0)]
+        return np.where(idx >= 0, gathered, -1)
+
+    def out_neighbors_at(self, nodes: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Gather ``out_neighbors(nodes[i])[idx[i]]`` per element (``-1`` passthrough)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        idx = np.asarray(idx, dtype=np.int64)
+        valid = idx >= 0
+        gathered = self._out[np.where(valid, nodes, 0), np.where(valid, idx, 0)]
+        return np.where(valid, gathered, -1)
+
+    def random_out_neighbor(self, u: int, rng: np.random.Generator) -> int:
+        """Sample a uniformly random out-neighbour of ``u`` (scalar API parity)."""
+        k = int(self._out_deg[u])
+        if k == 0:
+            raise ValueError(f"node {u} has no out-neighbors to sample from")
+        return int(self._out[u, int(rng.integers(k))])
+
+    # ------------------------------------------------------------------ #
+    # derived quantities / conversions
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self) -> np.ndarray:
+        """Return the dense boolean adjacency matrix (``mat[u, v]`` iff ``u -> v``)."""
+        return self._adj.copy()
+
+    def copy(self) -> "ArrayDiGraph":
+        """Return an independent deep copy of the digraph."""
+        g = ArrayDiGraph(self._n)
+        g._cap = self._cap
+        g._out = self._out.copy()
+        g._out_deg = self._out_deg.copy()
+        g._in_deg = self._in_deg.copy()
+        g._adj = self._adj.copy()
+        g._num_edges = self._num_edges
+        return g
+
+    @classmethod
+    def from_graph(cls, graph: DynamicDiGraph) -> "ArrayDiGraph":
+        """Build an :class:`ArrayDiGraph` preserving per-node out-neighbour order."""
+        g = cls(graph.n)
+        if graph.n == 0:
+            return g
+        out_deg = graph.out_degrees()
+        g._ensure_capacity(int(out_deg.max()) if out_deg.size else 0)
+        for u in graph.nodes():
+            row = graph.out_neighbors(u)
+            g._out[u, : len(row)] = row
+        g._out_deg = out_deg
+        g._in_deg = graph.in_degrees()
+        edge_arr = np.asarray(graph.edge_list(), dtype=np.int64).reshape(-1, 2)
+        if edge_arr.size:
+            g._adj[edge_arr[:, 0], edge_arr[:, 1]] = True
+        g._num_edges = graph.number_of_edges()
+        return g
+
+    def to_dynamic(self) -> DynamicDiGraph:
+        """Convert back to a list-backed :class:`DynamicDiGraph` (canonical order)."""
+        return DynamicDiGraph(self._n, self.edge_list())
+
+    def to_undirected(self) -> ArrayGraph:
+        """Return the undirected graph obtained by forgetting edge direction."""
+        g = ArrayGraph(self._n)
+        g.add_edges_batch(self.edge_list())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (ArrayDiGraph, DynamicDiGraph)):
+            return self._n == other.n and self.edge_list() == other.edge_list()
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("ArrayDiGraph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"ArrayDiGraph(n={self._n}, m={self._num_edges}, cap={self._cap})"
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self._n):
+            raise IndexError(f"node {u} out of range [0, {self._n})")
+
+
+GraphAny = Union[DynamicGraph, DynamicDiGraph, ArrayGraph, ArrayDiGraph]
+
+
+def backend_name(graph: GraphAny) -> str:
+    """Return ``"array"`` or ``"list"`` for a graph instance."""
+    return "array" if isinstance(graph, (ArrayGraph, ArrayDiGraph)) else "list"
+
+
+def as_backend(graph: GraphAny, backend: str) -> GraphAny:
+    """Convert ``graph`` to the requested backend (no-op when it already matches).
+
+    ``"array"`` conversion preserves per-node neighbour insertion order, so
+    seeded runs are trace-identical across backends; ``"list"`` conversion
+    rebuilds from the canonical edge list.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+    if backend == backend_name(graph):
+        return graph
+    if backend == "array":
+        if graph.directed:
+            return ArrayDiGraph.from_graph(graph)
+        return ArrayGraph.from_graph(graph)
+    return graph.to_dynamic()

@@ -50,7 +50,7 @@ GraphLike = Union[DynamicGraph, DynamicDiGraph]
 
 
 def _out_adjacency(graph: GraphLike, u: int) -> Sequence[int]:
-    if isinstance(graph, DynamicDiGraph):
+    if getattr(graph, "directed", False):
         return graph.out_neighbors(u)
     return graph.neighbors(u)
 

@@ -1,0 +1,50 @@
+"""Shared bulk-sampling primitives used by every graph backend.
+
+Cross-backend trace equivalence rests on one invariant: for the same seed,
+the list backend (:mod:`repro.graphs.adjacency`) and the array backend
+(:mod:`repro.graphs.array_adjacency`) must consume the *same* random
+values and map them to the *same* neighbour choices.  Both backends
+therefore draw one uniform float per sampled node (``rng.random(m)`` for a
+batch of ``m`` nodes) and turn it into a neighbour index with the exact
+floating-point computation implemented here.  Only the final gather —
+ragged Python lists versus one fancy-indexed 2-D array — differs between
+backends, and gathering is deterministic.
+
+The helpers use ``-1`` as the sentinel for "no sample" (a node with no
+neighbours, or a ``-1`` node propagated from an earlier sampling stage),
+which lets multi-hop kernels chain calls without branching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_indices", "masked_counts"]
+
+
+def uniform_indices(u: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Map uniforms ``u ∈ [0, 1)`` to indices ``floor(u·counts)`` per element.
+
+    Returns an ``int64`` array with ``-1`` wherever ``counts <= 0``.  The
+    result is clipped to ``counts - 1`` so the (measure-zero, but real in
+    floating point) case ``u·k`` rounding up to ``k`` cannot produce an
+    out-of-range index.  Every backend must use this exact computation so
+    identical draws yield identical choices.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    idx = (np.asarray(u) * counts).astype(np.int64)
+    return np.minimum(idx, counts - 1)
+
+
+def masked_counts(nodes: np.ndarray, counts_by_node: np.ndarray) -> tuple:
+    """Per-node counts with ``-1`` nodes treated as count 0.
+
+    Returns ``(safe_nodes, counts)`` where ``safe_nodes`` replaces negative
+    entries with 0 (a valid index whose gathered value is discarded) and
+    ``counts`` is 0 for those entries, so :func:`uniform_indices` yields the
+    ``-1`` sentinel for them.
+    """
+    valid = nodes >= 0
+    safe = np.where(valid, nodes, 0)
+    counts = np.where(valid, counts_by_node[safe], 0)
+    return safe, counts

@@ -10,16 +10,21 @@ of the gossip protocols and expose the Θ(n)-bit messages of the baselines.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 from typing import Sequence, Tuple
+
+from repro.core.base import id_bits
 
 __all__ = ["MessageKind", "Message", "id_bits_for"]
 
 
 def id_bits_for(n: int) -> int:
-    """Bits needed to name one node out of ``n`` (at least 1)."""
-    return max(1, math.ceil(math.log2(max(n, 2))))
+    """Bits needed to name one node out of ``n`` (at least 1).
+
+    Alias of :func:`repro.core.base.id_bits` — the single authority for the
+    per-ID bit cost — kept for the network layer's historical API.
+    """
+    return id_bits(n)
 
 
 class MessageKind(str, enum.Enum):

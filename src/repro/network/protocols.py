@@ -18,8 +18,11 @@ on the wire:
 
 All sampling is done against round-start snapshots so the protocols match
 the synchronous semantics of the graph-level processes; the push protocol
-is draw-for-draw identical to :class:`repro.core.push.PushDiscovery`
-when given the same seed and starting graph.
+draws through the same bulk convention as the vectorized round engine
+(one ``rng.random(n)`` block per sampling stage, indices mapped by
+:func:`repro.graphs.sampling.uniform_indices`), so it stays draw-for-draw
+identical to :class:`repro.core.push.PushDiscovery` when given the same
+seed and starting graph — on either graph backend.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graphs.sampling import uniform_indices
 from repro.network.message import Message, MessageKind
 
 __all__ = ["GossipProtocol", "PushProtocol", "PullProtocol", "NameDropperProtocol"]
@@ -60,11 +64,19 @@ class PushProtocol(GossipProtocol):
         rng = simulator.rng
         round_index = simulator.round_index
         deliveries: List[Message] = []
-        # Sample every node's action against the round-start contact lists.
-        for node in simulator.nodes:
-            if node.degree() == 0:
+        # Sample every node's action against the round-start contact lists,
+        # using the engine's bulk draw convention: one rng.random(n) block
+        # per chosen endpoint, so this protocol consumes the same stream as
+        # PushDiscovery.propose_batch on the same seed.
+        nodes = simulator.nodes
+        degrees = np.array([node.degree() for node in nodes], dtype=np.int64)
+        first = uniform_indices(rng.random(len(nodes)), degrees)
+        second = uniform_indices(rng.random(len(nodes)), degrees)
+        for node, i, j in zip(nodes, first.tolist(), second.tolist()):
+            if i < 0:
                 continue
-            v, w = node.random_contact_pair(rng)
+            v = node.contacts[i]
+            w = node.contacts[j]
             if v == w:
                 continue
             msg_v = Message(MessageKind.INTRODUCE, node.node_id, v, (w,), round_index)

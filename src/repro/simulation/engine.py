@@ -23,16 +23,18 @@ from repro.core.pull import PullDiscovery
 from repro.core.push import PushDiscovery
 from repro.core.variants import FaultyPullDiscovery, FaultyPushDiscovery
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph, as_backend
 
 __all__ = [
     "PROCESS_REGISTRY",
+    "ARRAY_BACKEND_PROCESSES",
     "make_process",
     "run_process",
     "measure_convergence_rounds",
     "process_names",
 ]
 
-GraphLike = Union[DynamicGraph, DynamicDiGraph]
+GraphLike = Union[DynamicGraph, DynamicDiGraph, ArrayGraph, ArrayDiGraph]
 
 #: name -> (constructor, requires_directed_graph)
 PROCESS_REGISTRY: Dict[str, Tuple[Callable[..., DiscoveryProcess], bool]] = {
@@ -47,6 +49,13 @@ PROCESS_REGISTRY: Dict[str, Tuple[Callable[..., DiscoveryProcess], bool]] = {
     "faulty_pull": (FaultyPullDiscovery, False),
 }
 
+#: processes that accept the NumPy array backend (the paper's three core
+#: processes run vectorized kernels on it; the faulty variants run their
+#: bulk path on it too).  The baselines keep their list-graph assumptions.
+ARRAY_BACKEND_PROCESSES = frozenset(
+    {"push", "pull", "directed_pull", "faulty_push", "faulty_pull"}
+)
+
 
 def process_names() -> Sequence[str]:
     """All registered process names."""
@@ -58,9 +67,14 @@ def make_process(
     graph: GraphLike,
     rng: Union[np.random.Generator, int, None] = None,
     semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+    backend: Optional[str] = None,
     **kwargs,
 ) -> DiscoveryProcess:
     """Build a process by registry name over ``graph``.
+
+    ``backend`` selects the graph substrate: ``"list"`` (default behaviour)
+    or ``"array"`` (the vectorized fast path; only for the processes in
+    :data:`ARRAY_BACKEND_PROCESSES`).  The graph is converted as needed.
 
     Raises ``KeyError`` for unknown names and ``TypeError`` when the graph
     kind does not match the process (e.g. an undirected graph passed to
@@ -70,12 +84,20 @@ def make_process(
         ctor, needs_directed = PROCESS_REGISTRY[name]
     except KeyError:
         raise KeyError(f"unknown process {name!r}; known: {list(process_names())}") from None
-    if needs_directed and not isinstance(graph, DynamicDiGraph):
-        raise TypeError(f"process {name!r} requires a DynamicDiGraph")
-    if not needs_directed and isinstance(graph, DynamicDiGraph) and name != "pointer_jump_directed":
+    directed_graph = bool(getattr(graph, "directed", False))
+    if needs_directed and not directed_graph:
+        raise TypeError(f"process {name!r} requires a directed graph")
+    if not needs_directed and directed_graph and name != "pointer_jump_directed":
         # pointer_jump accepts both kinds; all other undirected processes do not.
         if name != "pointer_jump":
-            raise TypeError(f"process {name!r} requires an undirected DynamicGraph")
+            raise TypeError(f"process {name!r} requires an undirected graph")
+    if backend is not None:
+        if backend == "array" and name not in ARRAY_BACKEND_PROCESSES:
+            raise ValueError(
+                f"process {name!r} does not support the array backend; "
+                f"array-capable: {sorted(ARRAY_BACKEND_PROCESSES)}"
+            )
+        graph = as_backend(graph, backend)
     return ctor(graph, rng=rng, semantics=semantics, **kwargs)
 
 
@@ -98,13 +120,18 @@ def measure_convergence_rounds(
     max_rounds: Optional[int] = None,
     semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
     copy_graph: bool = True,
+    backend: Optional[str] = None,
     **kwargs,
 ) -> RunResult:
     """Build the named process over (a copy of) ``graph`` and run it to convergence.
 
     This is the workhorse of every scaling experiment: one call, one
     :class:`RunResult` whose ``rounds`` field is the convergence time.
+    ``backend="array"`` routes the run through the vectorized fast path;
+    the seeded result is identical to the list backend's.
     """
     work_graph = graph.copy() if copy_graph else graph
-    process = make_process(name, work_graph, rng=rng, semantics=semantics, **kwargs)
+    process = make_process(
+        name, work_graph, rng=rng, semantics=semantics, backend=backend, **kwargs
+    )
     return run_process(process, max_rounds=max_rounds)

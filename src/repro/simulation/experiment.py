@@ -48,6 +48,9 @@ class ExperimentSpec:
         (e.g. ``failure_prob`` for the faulty variants).
     max_rounds:
         Optional hard cap per trial (defaults to the process's own cap).
+    backend:
+        Graph backend for the trials: ``"list"`` (default) or ``"array"``
+        (the vectorized fast path; identical seeded results).
     label:
         Free-form tag used in result tables.
     """
@@ -60,6 +63,7 @@ class ExperimentSpec:
     graph_factory: Optional[GraphFactory] = field(default=None, compare=False)
     process_kwargs: Dict[str, Any] = field(default_factory=dict, compare=False)
     max_rounds: Optional[int] = None
+    backend: str = "list"
     label: str = ""
 
     def build_graph(
@@ -75,7 +79,8 @@ class ExperimentSpec:
     def describe(self) -> str:
         """Short human-readable description for logs and tables."""
         tag = f" [{self.label}]" if self.label else ""
-        return f"{self.process} on {self.family}(n={self.n}) x{self.trials}{tag}"
+        fast = f" backend={self.backend}" if self.backend != "list" else ""
+        return f"{self.process} on {self.family}(n={self.n}) x{self.trials}{fast}{tag}"
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,7 @@ class SweepSpec:
     directed: bool = False
     process_kwargs: Dict[str, Any] = field(default_factory=dict, compare=False)
     max_rounds: Optional[int] = None
+    backend: str = "list"
     label: str = ""
 
     def expand(self) -> List[ExperimentSpec]:
@@ -106,6 +112,7 @@ class SweepSpec:
                             directed=self.directed,
                             process_kwargs=dict(self.process_kwargs),
                             max_rounds=self.max_rounds,
+                            backend=self.backend,
                             label=self.label,
                         )
                     )

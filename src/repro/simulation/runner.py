@@ -48,6 +48,7 @@ def _run_single_trial(args: Tuple[ExperimentSpec, int, Optional[int]]) -> TrialR
         rng=rng,
         max_rounds=spec.max_rounds,
         copy_graph=False,
+        backend=spec.backend,
         **spec.process_kwargs,
     )
     return TrialResult(

@@ -15,7 +15,6 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.base import DiscoveryProcess, RoundResult
-from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
 
 __all__ = ["RunTrace", "TraceRecorder"]
 
@@ -93,11 +92,9 @@ class TraceRecorder:
         self.trace.rounds.append(result.round_index)
         self.trace.num_edges.append(graph.number_of_edges())
         self.trace.edges_added.append(result.num_added)
-        if isinstance(graph, DynamicGraph):
+        if not getattr(graph, "directed", False):
             self.trace.min_degree.append(graph.min_degree())
-        elif isinstance(graph, DynamicDiGraph):
+        else:
             self.trace.min_degree.append(int(graph.out_degrees().min()) if graph.n else 0)
-        else:  # pragma: no cover - defensive
-            self.trace.min_degree.append(0)
         for name, probe in self.probes.items():
             self.trace.custom[name].append(float(probe(process)))

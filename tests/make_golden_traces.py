@@ -1,0 +1,67 @@
+"""Regenerate the golden seeded traces under ``tests/data/``.
+
+Run from the repository root after an *intentional* change to the RNG draw
+convention (which invalidates the recorded traces)::
+
+    PYTHONPATH=src python tests/make_golden_traces.py
+
+The traces pin the exact per-round added edges of the reference (list)
+backend; ``tests/test_golden_traces.py`` asserts that both backends still
+reproduce them bit-for-bit.  Never regenerate to paper over an accidental
+drift — the whole point is to catch one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.pull import PullDiscovery
+from repro.core.push import PushDiscovery
+from repro.graphs import generators as gen
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_SEED = 20120614
+GOLDEN_N = 64
+
+GOLDEN_CASES = {
+    "golden_push_cycle_n64.json": (PushDiscovery, "push"),
+    "golden_pull_cycle_n64.json": (PullDiscovery, "pull"),
+}
+
+
+def build_trace(process_cls, process_name: str) -> dict:
+    """Run the reference backend to convergence and serialise its trace."""
+    graph = gen.cycle_graph(GOLDEN_N)
+    process = process_cls(graph, rng=GOLDEN_SEED)
+    result = process.run_to_convergence(record_history=True)
+    assert result.converged, "golden runs must converge"
+    added_by_round = [
+        [r.round_index, [[int(u), int(v)] for u, v in r.added_edges]]
+        for r in result.history
+        if r.added_edges
+    ]
+    return {
+        "process": process_name,
+        "family": "cycle",
+        "n": GOLDEN_N,
+        "seed": GOLDEN_SEED,
+        "rounds": result.rounds,
+        "total_edges_added": result.total_edges_added,
+        "total_messages": result.total_messages,
+        "total_bits": result.total_bits,
+        "added_by_round": added_by_round,
+    }
+
+
+def main() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    for filename, (process_cls, name) in GOLDEN_CASES.items():
+        trace = build_trace(process_cls, name)
+        path = DATA_DIR / filename
+        path.write_text(json.dumps(trace, separators=(",", ":")) + "\n")
+        print(f"wrote {path} ({trace['rounds']} rounds, {trace['total_edges_added']} edges)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Cross-backend equivalence: list and array backends produce identical seeded traces.
+
+The vectorized array backend is only trustworthy if it is *bit-identical*
+to the reference list backend: same RNG stream consumption, same neighbour
+choices, same per-round added edges, same totals.  These tests run push,
+pull, and the directed two-hop walk to convergence on seeded graph
+families under both backends and compare everything the trace exposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.directed import DirectedTwoHopWalk
+from repro.core.pull import PullDiscovery
+from repro.core.push import PushDiscovery
+from repro.core.variants import FaultyPullDiscovery, FaultyPushDiscovery
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+from repro.graphs.array_adjacency import as_backend
+from repro.simulation.engine import make_process
+
+SEEDS = [0, 7, 20120614]
+
+UNDIRECTED_FAMILIES = {
+    "path": lambda: gen.path_graph(28),
+    "star": lambda: gen.star_graph(28),
+    # the registered experiment family (connectivity-repaired Erdős–Rényi)
+    "erdos_renyi": lambda: gen.make_family("erdos_renyi", 28, np.random.default_rng(99)),
+}
+
+DIRECTED_FAMILIES = {
+    "bidirected_path": lambda: dgen.bidirected_path(16),
+    "bidirected_star": lambda: dgen.bidirected_star(16),
+    "random_strong": lambda: dgen.random_strongly_connected_digraph(
+        16, rng=np.random.default_rng(99)
+    ),
+}
+
+
+def run_trace(process_cls, base_graph, seed, backend, **kwargs):
+    """Run to convergence and return every trace-visible quantity."""
+    graph = as_backend(base_graph.copy(), backend)
+    process = process_cls(graph, rng=seed, **kwargs)
+    result = process.run_to_convergence(record_history=True)
+    per_round_added = [
+        frozenset((int(u), int(v)) for u, v in r.added_edges) for r in result.history
+    ]
+    return {
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "added": per_round_added,
+        "messages": result.total_messages,
+        "bits": result.total_bits,
+        "edges": sorted((int(u), int(v)) for u, v in process.graph.edge_list()),
+    }
+
+
+class TestUndirectedEquivalence:
+    @pytest.mark.parametrize("family", sorted(UNDIRECTED_FAMILIES))
+    @pytest.mark.parametrize("process_cls", [PushDiscovery, PullDiscovery])
+    def test_push_pull_trace_identical(self, process_cls, family):
+        base = UNDIRECTED_FAMILIES[family]()
+        for seed in SEEDS:
+            ref = run_trace(process_cls, base, seed, "list")
+            fast = run_trace(process_cls, base, seed, "array")
+            assert ref["rounds"] == fast["rounds"]
+            assert ref["converged"] and fast["converged"]
+            assert ref["added"] == fast["added"]
+            assert ref["messages"] == fast["messages"]
+            assert ref["bits"] == fast["bits"]
+            assert ref["edges"] == fast["edges"]
+
+    def test_push_without_replacement_trace_identical(self):
+        base = gen.path_graph(20)
+        ref = run_trace(PushDiscovery, base, 5, "list", without_replacement=True)
+        fast = run_trace(PushDiscovery, base, 5, "array", without_replacement=True)
+        assert ref == fast
+
+    @pytest.mark.parametrize("process_cls", [FaultyPushDiscovery, FaultyPullDiscovery])
+    def test_faulty_variants_trace_identical(self, process_cls):
+        base = gen.path_graph(20)
+        kwargs = {"failure_prob": 0.25, "participation_prob": 0.75}
+        ref = run_trace(process_cls, base, 11, "list", **kwargs)
+        fast = run_trace(process_cls, base, 11, "array", **kwargs)
+        assert ref == fast
+
+
+class TestDirectedEquivalence:
+    @pytest.mark.parametrize("family", sorted(DIRECTED_FAMILIES))
+    def test_directed_trace_identical(self, family):
+        base = DIRECTED_FAMILIES[family]()
+        for seed in SEEDS:
+            ref = run_trace(DirectedTwoHopWalk, base, seed, "list")
+            fast = run_trace(DirectedTwoHopWalk, base, seed, "array")
+            assert ref["rounds"] == fast["rounds"]
+            assert ref["converged"] and fast["converged"]
+            assert ref["added"] == fast["added"]
+            assert ref["messages"] == fast["messages"]
+            assert ref["bits"] == fast["bits"]
+            assert ref["edges"] == fast["edges"]
+
+
+class TestEngineBackendOption:
+    def test_make_process_backend_equivalence(self):
+        base = gen.cycle_graph(24)
+        results = {}
+        for backend in ("list", "array"):
+            proc = make_process("push", base.copy(), rng=17, backend=backend)
+            run = proc.run_to_convergence()
+            results[backend] = (run.rounds, run.total_messages, run.total_bits)
+        assert results["list"] == results["array"]
+
+    def test_make_process_rejects_array_for_baselines(self):
+        with pytest.raises(ValueError, match="array backend"):
+            make_process("name_dropper", gen.cycle_graph(8), rng=0, backend="array")
+
+    def test_pointer_jump_classifies_array_graphs(self):
+        """Handed an array graph directly, pointer jump picks the right mode."""
+        from repro.graphs import directed_generators as dgen
+
+        directed = make_process(
+            "pointer_jump_directed", as_backend(dgen.directed_cycle(8), "array"), rng=0
+        )
+        assert directed._directed
+        assert directed.run_to_convergence().converged
+        undirected = make_process("pointer_jump", as_backend(gen.cycle_graph(8), "array"), rng=0)
+        assert not undirected._directed
+        assert undirected.run_to_convergence().converged
+
+    def test_process_backend_kwarg_converts_graph(self):
+        proc = PushDiscovery(gen.cycle_graph(12), rng=0, backend="array")
+        assert proc.backend == "array"
+        assert type(proc.graph).__name__ == "ArrayGraph"
+
+    def test_neighbor_rows_stay_aligned_after_convergence(self):
+        """The strong invariant behind trace equality: identical row order."""
+        base = gen.path_graph(18)
+        ref = PushDiscovery(base.copy(), rng=9)
+        ref.run_to_convergence()
+        fast = PushDiscovery(base.copy(), rng=9, backend="array")
+        fast.run_to_convergence()
+        for u in range(base.n):
+            assert list(ref.graph.neighbors(u)) == fast.graph.neighbors(u).tolist()
+
+
+@pytest.mark.slow
+class TestLargeEquivalenceSweep:
+    """Full-size sweep (n close to the benchmark scale); run with -m slow."""
+
+    def test_push_large_cycle_trace_identical(self):
+        base = gen.cycle_graph(96)
+        ref = run_trace(PushDiscovery, base, 20120614, "list")
+        fast = run_trace(PushDiscovery, base, 20120614, "array")
+        assert ref == fast
+
+    def test_pull_large_er_trace_identical(self):
+        base = gen.erdos_renyi_graph(96, 0.08, rng=np.random.default_rng(1))
+        ref = run_trace(PullDiscovery, base, 20120614, "list")
+        fast = run_trace(PullDiscovery, base, 20120614, "array")
+        assert ref == fast

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics, id_bits
 from repro.core.push import PushDiscovery
 from repro.graphs import generators as gen
 
@@ -103,3 +103,37 @@ class TestAbstractInterface:
     def test_cannot_instantiate_abstract_process(self):
         with pytest.raises(TypeError):
             DiscoveryProcess(gen.cycle_graph(4), rng=0)  # type: ignore[abstract]
+
+
+class TestIdBits:
+    """Pin the single-authority bit formula: max(1, ceil(log2 n))."""
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, 1),  # degenerate: a lone node still pays one bit per ID
+            (2, 1),
+            (3, 2),  # non-power of two rounds up
+            (5, 3),
+            (12, 4),
+            (96, 7),
+            (1024, 10),
+            (1025, 11),  # just past a power of two
+        ],
+    )
+    def test_formula_pinned(self, n, expected):
+        assert id_bits(n) == expected
+
+    def test_engine_and_network_share_the_formula(self):
+        from repro.network.message import id_bits_for
+
+        for n in (1, 2, 3, 12, 97, 1025):
+            assert id_bits_for(n) == id_bits(n)
+
+    def test_round_bits_use_shared_formula(self):
+        n = 12  # not a power of two
+        proc = PushDiscovery(gen.cycle_graph(n), rng=0)
+        result = proc.step()
+        assert result.bits_sent == result.messages_sent * id_bits(n)
+        fast = PushDiscovery(gen.cycle_graph(n), rng=0, backend="array")
+        assert fast.step().bits_sent == result.bits_sent
