@@ -40,3 +40,12 @@ def print_table(
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def trial_count(smoke: bool, full: int, smoke_cap: int = 1) -> int:
+    """Trials for one measurement: ``full`` normally, capped under ``--smoke``.
+
+    Every benchmark that averages over repeated seeded runs must route its
+    trial count through here so the CI smoke pass stays seconds-sized.
+    """
+    return min(full, smoke_cap) if smoke else full

@@ -17,21 +17,23 @@ from repro.network.message import id_bits_for
 from repro.network.simulator import NetworkSimulator
 from repro.simulation.engine import measure_convergence_rounds
 
-from _bench_helpers import BENCH_SEED, print_table, run_once
+from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
 N = 64
 ALGORITHMS = ["push", "pull", "name_dropper", "pointer_jump", "flooding"]
 
 
-def test_e10_rounds_vs_bits_tradeoff(benchmark):
+def test_e10_rounds_vs_bits_tradeoff(benchmark, smoke):
     """Rounds and message-bit totals for every algorithm on the same starting graph."""
+
+    n = 16 if smoke else N
 
     def measure():
         rows = []
         for name in ALGORITHMS:
             trials = []
-            for t in range(3):
-                graph = gen.cycle_graph(N)
+            for t in range(trial_count(smoke, 3)):
+                graph = gen.cycle_graph(n)
                 result = measure_convergence_rounds(
                     name, graph, rng=BENCH_SEED + t, copy_graph=False
                 )
@@ -44,14 +46,14 @@ def test_e10_rounds_vs_bits_tradeoff(benchmark):
                     "algorithm": name,
                     "rounds": rounds,
                     "total_bits": bits,
-                    "bits_per_round_per_node": bits / rounds / N,
+                    "bits_per_round_per_node": bits / rounds / n,
                     "messages": msgs,
                 }
             )
         return rows
 
     rows = run_once(benchmark, measure)
-    print_table(f"E10 rounds vs bandwidth on a {N}-cycle", rows)
+    print_table(f"E10 rounds vs bandwidth on a {n}-cycle", rows)
     by_name = {row["algorithm"]: row for row in rows}
     # Round ordering: flooding <= name_dropper << push/pull.
     assert by_name["flooding"]["rounds"] <= by_name["name_dropper"]["rounds"]
@@ -59,19 +61,21 @@ def test_e10_rounds_vs_bits_tradeoff(benchmark):
     assert by_name["name_dropper"]["rounds"] < by_name["pull"]["rounds"]
     # Bandwidth ordering (per node per round): push/pull are O(log n) bits,
     # the baselines are not.
-    id_bits = id_bits_for(N)
+    id_bits = id_bits_for(n)
     assert by_name["push"]["bits_per_round_per_node"] <= 2 * id_bits
     assert by_name["pull"]["bits_per_round_per_node"] <= 3 * id_bits
     assert by_name["flooding"]["bits_per_round_per_node"] > 10 * id_bits
 
 
-def test_e10_message_level_bandwidth(benchmark):
+def test_e10_message_level_bandwidth(benchmark, smoke):
     """The message-passing simulator confirms the per-node bit budgets."""
+
+    n = 16 if smoke else N
 
     def measure():
         rows = []
         for protocol in ["push", "pull", "name_dropper"]:
-            sim = NetworkSimulator(gen.cycle_graph(N), protocol=protocol, rng=BENCH_SEED)
+            sim = NetworkSimulator(gen.cycle_graph(n), protocol=protocol, rng=BENCH_SEED)
             sim.run_to_convergence(max_rounds=50_000)
             rows.append(
                 {
@@ -84,9 +88,9 @@ def test_e10_message_level_bandwidth(benchmark):
         return rows
 
     rows = run_once(benchmark, measure)
-    print_table(f"E10 message-level accounting on a {N}-cycle", rows)
+    print_table(f"E10 message-level accounting on a {n}-cycle", rows)
     by_name = {row["protocol"]: row for row in rows}
-    id_bits = id_bits_for(N)
+    id_bits = id_bits_for(n)
     assert by_name["push"]["max_bits_per_node_round"] <= 2 * id_bits
     assert by_name["pull"]["max_bits_per_node_round"] <= 3 * id_bits + id_bits
     assert by_name["name_dropper"]["max_bits_per_node_round"] > 4 * id_bits

@@ -16,7 +16,7 @@ from repro.core.base import UpdateSemantics
 from repro.graphs import generators as gen
 from repro.simulation.engine import measure_convergence_rounds
 
-from _bench_helpers import BENCH_SEED, print_table, run_once
+from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
 N = 48
 FAILURE_PROBS = [0.0, 0.1, 0.3, 0.5]
@@ -36,12 +36,17 @@ def _mean_rounds(process: str, n: int, trials: int = 3, **kwargs) -> float:
 
 
 @pytest.mark.parametrize("process", ["faulty_push", "faulty_pull"])
-def test_e11_connection_failures(benchmark, process):
+def test_e11_connection_failures(benchmark, process, smoke):
     """Convergence degrades smoothly (roughly like 1/(1-p)) as the failure probability grows."""
+
+    trials = trial_count(smoke, 3)
 
     def measure():
         return [
-            {"failure_prob": p, "rounds_mean": _mean_rounds(process, N, failure_prob=p)}
+            {
+                "failure_prob": p,
+                "rounds_mean": _mean_rounds(process, N, trials=trials, failure_prob=p),
+            }
             for p in FAILURE_PROBS
         ]
 
@@ -56,14 +61,18 @@ def test_e11_connection_failures(benchmark, process):
     assert all(s2 >= s1 * 0.7 for s1, s2 in zip(slowdowns, slowdowns[1:]))
 
 
-def test_e11_partial_participation(benchmark):
+def test_e11_partial_participation(benchmark, smoke):
     """Halving participation roughly doubles the rounds (work per round halves)."""
+
+    trials = trial_count(smoke, 3)
 
     def measure():
         return [
             {
                 "participation": q,
-                "rounds_mean": _mean_rounds("faulty_push", N, participation_prob=q),
+                "rounds_mean": _mean_rounds(
+                    "faulty_push", N, trials=trials, participation_prob=q
+                ),
             }
             for q in PARTICIPATION
         ]
@@ -77,24 +86,30 @@ def test_e11_partial_participation(benchmark):
     assert rows[-1]["slowdown"] < 6.0
 
 
-def test_e11_sampling_and_semantics_ablation(benchmark):
+def test_e11_sampling_and_semantics_ablation(benchmark, smoke):
     """Design ablations: without-replacement push sampling and sequential updates."""
+
+    trials = trial_count(smoke, 3)
 
     def measure():
         return [
-            {"variant": "push (paper)", "rounds_mean": _mean_rounds("push", N)},
+            {"variant": "push (paper)", "rounds_mean": _mean_rounds("push", N, trials=trials)},
             {
                 "variant": "push without-replacement",
-                "rounds_mean": _mean_rounds("push", N, without_replacement=True),
+                "rounds_mean": _mean_rounds("push", N, trials=trials, without_replacement=True),
             },
             {
                 "variant": "push sequential updates",
-                "rounds_mean": _mean_rounds("push", N, semantics=UpdateSemantics.SEQUENTIAL),
+                "rounds_mean": _mean_rounds(
+                    "push", N, trials=trials, semantics=UpdateSemantics.SEQUENTIAL
+                ),
             },
-            {"variant": "pull (paper)", "rounds_mean": _mean_rounds("pull", N)},
+            {"variant": "pull (paper)", "rounds_mean": _mean_rounds("pull", N, trials=trials)},
             {
                 "variant": "pull sequential updates",
-                "rounds_mean": _mean_rounds("pull", N, semantics=UpdateSemantics.SEQUENTIAL),
+                "rounds_mean": _mean_rounds(
+                    "pull", N, trials=trials, semantics=UpdateSemantics.SEQUENTIAL
+                ),
             },
         ]
 

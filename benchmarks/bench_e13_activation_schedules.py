@@ -19,7 +19,7 @@ from repro.core.push import PushDiscovery
 from repro.core.scheduler import BernoulliActivation, PoissonLikeActivation, ScheduledProcess
 from repro.graphs import generators as gen
 
-from _bench_helpers import BENCH_SEED, print_table, run_once
+from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
 N = 48
 FRACTIONS = [1.0, 0.5, 0.25]
@@ -32,14 +32,14 @@ def _mean_over_trials(make_runner, trials=3):
     return float(np.mean(values))
 
 
-def test_e13_bernoulli_participation_work_conservation(benchmark):
+def test_e13_bernoulli_participation_work_conservation(benchmark, smoke):
     """Rounds grow like 1/q but total activations (work) stay within ~2x of synchronous."""
 
     def measure():
         rows = []
         for q in FRACTIONS:
             per_trial = []
-            for t in range(3):
+            for t in range(trial_count(smoke, 3)):
                 graph = gen.cycle_graph(N)
                 proc = PushDiscovery(graph, rng=BENCH_SEED + t)
                 if q < 1.0:
@@ -69,12 +69,15 @@ def test_e13_bernoulli_participation_work_conservation(benchmark):
     assert rows[-1]["work/base"] < 2.5
 
 
-def test_e13_async_ticks_match_synchronous_rounds(benchmark):
+def test_e13_async_ticks_match_synchronous_rounds(benchmark, smoke):
     """One-node-per-tick activation needs ~n times more ticks, i.e. similar total work."""
+
+    trials = trial_count(smoke, 3)
 
     def measure():
         sync_rounds = _mean_over_trials(
-            lambda s: PushDiscovery(gen.cycle_graph(N), rng=s).run_to_convergence().rounds
+            lambda s: PushDiscovery(gen.cycle_graph(N), rng=s).run_to_convergence().rounds,
+            trials=trials,
         )
 
         def async_ticks(seed):
@@ -83,7 +86,7 @@ def test_e13_async_ticks_match_synchronous_rounds(benchmark):
             wrapped = ScheduledProcess(proc, PoissonLikeActivation())
             return wrapped.run_to_convergence(max_rounds=2_000_000).rounds
 
-        ticks = _mean_over_trials(async_ticks)
+        ticks = _mean_over_trials(async_ticks, trials=trials)
         return [
             {
                 "model": "synchronous rounds",

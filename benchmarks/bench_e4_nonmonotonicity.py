@@ -20,7 +20,7 @@ from repro.analysis.nonmonotonicity import (
 )
 from repro.graphs import generators as gen
 
-from _bench_helpers import BENCH_SEED, print_table, run_once
+from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
 
 def test_e4_exact_gaps(benchmark):
@@ -38,8 +38,10 @@ def test_e4_exact_gaps(benchmark):
     assert gap["pair_gap"] > 0
 
 
-def test_e4_monte_carlo_cross_check(benchmark):
+def test_e4_monte_carlo_cross_check(benchmark, smoke):
     """Monte-Carlo estimates agree with the exact values within a few standard errors."""
+
+    trials = trial_count(smoke, 3000, smoke_cap=200)
 
     def measure():
         results = {}
@@ -50,7 +52,7 @@ def test_e4_monte_carlo_cross_check(benchmark):
         ]:
             exact = exact_expected_convergence_time(graph, "push")
             mc, sem = monte_carlo_expected_convergence_time(
-                graph, "push", trials=3000, seed=BENCH_SEED
+                graph, "push", trials=trials, seed=BENCH_SEED
             )
             results[name] = (exact, mc, sem)
         return results
@@ -60,7 +62,7 @@ def test_e4_monte_carlo_cross_check(benchmark):
         {"graph": name, "exact": e, "monte_carlo": m, "stderr": s}
         for name, (e, m, s) in results.items()
     ]
-    print_table("E4 exact vs Monte-Carlo (push, 3000 trials)", rows)
+    print_table(f"E4 exact vs Monte-Carlo (push, {trials} trials)", rows)
     for name, (exact, mc, sem) in results.items():
         assert abs(exact - mc) < max(5 * sem, 0.2), f"{name}: exact {exact} vs MC {mc}"
 

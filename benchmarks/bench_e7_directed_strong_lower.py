@@ -14,21 +14,22 @@ from repro.graphs import generators as gen
 from repro.simulation import bounds
 from repro.simulation.engine import measure_convergence_rounds
 
-from _bench_helpers import BENCH_SEED, print_table, run_once
+from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
 SIZES = [8, 12, 16, 24, 32]
+SMOKE_SIZES = [6, 8]
 
 
-def test_e7_strongly_connected_lower_bound(benchmark):
+def test_e7_strongly_connected_lower_bound(benchmark, smoke):
     """Rounds on the Theorem-15 instance grow at least quadratically in n."""
     check = run_once(
         benchmark,
         lower_bound_ratio_check,
         "directed_pull",
         instance_factory=dgen.thm15_strong_lower_bound,
-        sizes=SIZES,
+        sizes=SMOKE_SIZES if smoke else SIZES,
         bound=bounds.n_squared,
-        trials=3,
+        trials=trial_count(smoke, 3),
         seed=BENCH_SEED,
         min_fraction_of_first=0.1,
     )
@@ -38,16 +39,18 @@ def test_e7_strongly_connected_lower_bound(benchmark):
     ]
     print_table("E7 strongly connected lower-bound instance (Fig 3/4)", rows)
     print(f"pure power-law exponent: {check.power_fit_exponent:.2f}")
+    if smoke:
+        return
     assert check.power_fit_exponent > 1.2
     assert all(r > 0 for r in check.ratios)
 
 
-def test_e7_directed_vs_undirected_separation(benchmark):
+def test_e7_directed_vs_undirected_separation(benchmark, smoke):
     """At equal sizes the directed instance takes far longer than undirected push/pull."""
 
     def measure():
         rows = []
-        for n in [16, 24, 32]:
+        for n in [8, 12] if smoke else [16, 24, 32]:
             directed = measure_convergence_rounds(
                 "directed_pull",
                 dgen.thm15_strong_lower_bound(n),

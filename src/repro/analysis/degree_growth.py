@@ -60,8 +60,8 @@ class _MinDegreeWatcher:
         self.hit_round: Dict[int, int] = {}
 
     def __call__(self, process: DiscoveryProcess, result: RoundResult) -> None:
-        graph = process.graph
-        current = graph.min_degree()
+        cached = getattr(process, "cached_min_degree", None)
+        current = cached() if cached is not None else process.graph.min_degree()
         for threshold in self.thresholds:
             if threshold not in self.hit_round and current >= threshold:
                 self.hit_round[threshold] = result.round_index + 1

@@ -250,6 +250,13 @@ class DiscoveryProcess(abc.ABC):
         self.total_messages = 0
         self.total_bits = 0
         self._id_bits = id_bits(graph.n)
+        # Incrementally-maintained convergence counters (built lazily by
+        # degree_view): the cached (out-)degree vector, the edge count it
+        # reflects, and a lazily-refreshed minimum degree.
+        self._deg_cache: Optional[np.ndarray] = None
+        self._deg_cache_edges = -1
+        self._min_deg = 0
+        self._min_deg_dirty = True
 
     # ------------------------------------------------------------------ #
     # to be provided by subclasses
@@ -313,19 +320,76 @@ class DiscoveryProcess(abc.ABC):
         from a vectorized kernel; otherwise applies edge by edge through
         :meth:`apply_edge` so subclass bookkeeping stays correct.
         ``proposed=None`` means "derive the tuples from ``batch`` if a
-        non-array path actually needs them".
+        non-array path actually needs them".  Every path funnels the new
+        edges through :meth:`_note_added_edges` so the cached convergence
+        counters stay current without rescanning the graph.
         """
+        added: Optional[List[Edge]] = None
         if "apply_edge" not in self.__dict__ and type(self).apply_edge is DiscoveryProcess.apply_edge:
             if batch is not None:
                 arrays = getattr(self.graph, "add_edges_batch_arrays", None)
                 if arrays is not None:
-                    return arrays(batch.us, batch.vs)
-            tuple_batch = getattr(self.graph, "add_edges_batch", None)
-            if tuple_batch is not None:
-                return tuple_batch(proposed if proposed is not None else batch.edges())
-        if proposed is None:
-            proposed = batch.edges() if batch is not None else []
-        return [edge for edge in proposed if self.apply_edge(edge)]
+                    added = arrays(batch.us, batch.vs)
+            if added is None:
+                tuple_batch = getattr(self.graph, "add_edges_batch", None)
+                if tuple_batch is not None:
+                    added = tuple_batch(proposed if proposed is not None else batch.edges())
+        if added is None:
+            if proposed is None:
+                proposed = batch.edges() if batch is not None else []
+            added = [edge for edge in proposed if self.apply_edge(edge)]
+        self._note_added_edges(added)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # incrementally-maintained convergence counters
+    # ------------------------------------------------------------------ #
+    def degree_view(self) -> np.ndarray:
+        """The (out-)degree vector as a read-only cached array.
+
+        Built lazily from the graph on first use, then patched in
+        O(#added edges) per round by :meth:`_note_added_edges` instead of
+        recomputed/copied O(n) every convergence check.  Self-healing: if
+        the graph was mutated outside the round engine (a process that
+        overrides :meth:`step`, direct ``add_edge`` calls), the cached edge
+        count disagrees and the vector is rebuilt from the graph.  Callers
+        must not mutate the returned array.
+        """
+        m = self.graph.number_of_edges()
+        if self._deg_cache is None or self._deg_cache_edges != m:
+            graph = self.graph
+            self._deg_cache = graph.out_degrees() if graph.directed else graph.degrees()
+            self._deg_cache_edges = m
+            self._min_deg_dirty = True
+        return self._deg_cache
+
+    def cached_min_degree(self) -> int:
+        """Minimum (out-)degree via the incremental cache.
+
+        The vector minimum is recomputed only when some node at the current
+        minimum gained an edge since the last query (degrees never decrease
+        under the append-only contract), so convergence predicates that
+        poll every round usually pay O(1).
+        """
+        deg = self.degree_view()
+        if self._min_deg_dirty:
+            self._min_deg = int(deg.min()) if deg.size else 0
+            self._min_deg_dirty = False
+        return self._min_deg
+
+    def _note_added_edges(self, added: List[Edge]) -> None:
+        """Patch the cached degree counters for one round's new edges."""
+        if self._deg_cache is None:
+            return
+        if not added:
+            return
+        arr = np.asarray(added, dtype=np.int64).reshape(-1, 2)
+        ends = arr[:, 0] if self.graph.directed else arr.ravel()
+        deg = self._deg_cache
+        if not self._min_deg_dirty and bool((deg[ends] == self._min_deg).any()):
+            self._min_deg_dirty = True
+        np.add.at(deg, ends, 1)
+        self._deg_cache_edges += len(added)
 
     def _propose_is(self, owner: type) -> bool:
         """True when ``self.propose`` is exactly ``owner.propose`` (not customised).
@@ -385,6 +449,7 @@ class DiscoveryProcess(abc.ABC):
                 result.proposed_edges.append(edge)
                 if self.apply_edge(edge):
                     result.added_edges.append(edge)
+            self._note_added_edges(result.added_edges)
         self.round_index += 1
         self.total_edges_added += result.num_added
         self.total_messages += result.messages_sent

@@ -3,6 +3,12 @@
 All predicates take the process and return a bool, so they compose with
 the ``until=`` parameter of the run loop.  Factories return fresh
 predicates configured with their thresholds.
+
+The predicates are evaluated after *every* round, so they run on the
+process's incrementally-maintained counters (edge counts are O(1) on the
+graphs; minimum degree comes from
+:meth:`~repro.core.base.DiscoveryProcess.cached_min_degree`, which is
+patched per round instead of recomputed O(n²)-style from the graph).
 """
 
 from __future__ import annotations
@@ -25,7 +31,11 @@ Predicate = Callable[[DiscoveryProcess], bool]
 
 
 def complete_graph_reached(process: DiscoveryProcess) -> bool:
-    """True when the (undirected) graph has every possible edge."""
+    """True when the (undirected) graph has every possible edge.
+
+    O(1): both graph backends maintain the edge count as a counter, so no
+    membership scan happens per round.
+    """
     graph = process.graph
     if not graph.directed:
         return graph.is_complete()
@@ -47,10 +57,14 @@ def min_degree_reached(threshold: int) -> Predicate:
 
     This is the quantity the paper's proof engine tracks (the minimum
     degree grows by a constant factor every O(n log n) rounds); experiment
-    E8 uses it to measure growth phases.
+    E8 uses it to measure growth phases.  Reads the process's incremental
+    degree cache — no per-round degree-vector copy.
     """
 
     def predicate(process: DiscoveryProcess) -> bool:
+        cached = getattr(process, "cached_min_degree", None)
+        if cached is not None:
+            return cached() >= threshold
         graph = process.graph
         if not graph.directed:
             return graph.min_degree() >= threshold

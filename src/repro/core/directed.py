@@ -122,15 +122,17 @@ class DirectedTwoHopWalk(DiscoveryProcess):
         if "apply_edge" in self.__dict__ or type(self).apply_edge is not DirectedTwoHopWalk.apply_edge:
             if proposed is None:
                 proposed = batch.edges() if batch is not None else []
-            return [edge for edge in proposed if self.apply_edge(edge)]
-        if batch is not None and hasattr(self.graph, "add_edges_batch_arrays"):
-            added = self.graph.add_edges_batch_arrays(batch.us, batch.vs)
-        elif hasattr(self.graph, "add_edges_batch"):
-            added = self.graph.add_edges_batch(proposed if proposed is not None else [])
+            added = [edge for edge in proposed if self.apply_edge(edge)]
         else:
-            added = [edge for edge in (proposed or []) if self.graph.add_edge(*edge)]
-        for edge in added:
-            self._missing.discard(edge)
+            if batch is not None and hasattr(self.graph, "add_edges_batch_arrays"):
+                added = self.graph.add_edges_batch_arrays(batch.us, batch.vs)
+            elif hasattr(self.graph, "add_edges_batch"):
+                added = self.graph.add_edges_batch(proposed if proposed is not None else [])
+            else:
+                added = [edge for edge in (proposed or []) if self.graph.add_edge(*edge)]
+            for edge in added:
+                self._missing.discard(edge)
+        self._note_added_edges(added)
         return added
 
     def is_converged(self) -> bool:

@@ -54,7 +54,18 @@ class MetricsRecorder:
 
     def __call__(self, process: DiscoveryProcess, result: RoundResult) -> None:
         graph = process.graph
-        if not graph.directed:
+        # The per-round degree statistics read the process's incremental
+        # cache (no O(n) copy per round); missing-edge counts come from the
+        # graphs' O(1) edge counters.
+        view = getattr(process, "degree_view", None)
+        if view is not None:
+            degrees = view()
+            missing = (
+                graph.missing_edges()
+                if not graph.directed
+                else graph.n * (graph.n - 1) - graph.number_of_edges()
+            )
+        elif not graph.directed:
             degrees = graph.degrees()
             missing = graph.missing_edges()
         else:

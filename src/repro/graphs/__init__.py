@@ -5,14 +5,17 @@ mutate (:mod:`repro.graphs.adjacency`), generators for every graph family
 used in the paper's arguments and in our experiments
 (:mod:`repro.graphs.generators`, :mod:`repro.graphs.directed_generators`),
 structural property computations matching the paper's notation
-(:mod:`repro.graphs.properties`), transitive-closure utilities for the
-directed termination condition (:mod:`repro.graphs.closure`), and invariant
-validation helpers (:mod:`repro.graphs.validation`).
+(:mod:`repro.graphs.properties`), word-packed ``uint64`` bitset kernels for
+membership/closure/convergence set algebra (:mod:`repro.graphs.bitset`),
+transitive-closure utilities for the directed termination condition
+(:mod:`repro.graphs.closure`), and invariant validation helpers
+(:mod:`repro.graphs.validation`).
 """
 
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
 from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph, BACKENDS, as_backend
 from repro.graphs import (
+    bitset,
     generators,
     directed_generators,
     properties,
@@ -28,6 +31,7 @@ __all__ = [
     "ArrayDiGraph",
     "BACKENDS",
     "as_backend",
+    "bitset",
     "generators",
     "directed_generators",
     "properties",

@@ -3,7 +3,7 @@
 :class:`ArrayGraph` and :class:`ArrayDiGraph` are drop-in substrates for
 the discovery processes that store neighbour lists in one preallocated
 2-D ``int64`` array (one row per node, amortized column doubling) plus a
-dense boolean membership matrix, instead of per-node Python lists and a
+word-packed membership matrix, instead of per-node Python lists and a
 hash set.  Per-round work then becomes whole-array operations:
 
 * ``random_neighbors(nodes, rng)`` — one ``rng.random(m)`` draw and one
@@ -13,10 +13,18 @@ hash set.  Per-round work then becomes whole-array operations:
   (few) genuinely new edges.
 
 The classes share the paper's append-only contract with the list backend
-(:mod:`repro.graphs.adjacency`): edges are only ever added.  Because the
-processes converge to the complete graph (or the transitive closure), the
-O(n²) membership matrix matches the asymptotic memory of the final state
-and is not an overhead class-of-its-own.
+(:mod:`repro.graphs.adjacency`): edges are only ever added.
+
+Packed memory model
+-------------------
+Membership lives in ``uint64`` bitset rows (:mod:`repro.graphs.bitset`):
+bit ``v`` of row ``u`` is the edge ``(u, v)``, so the matrix costs
+``n² / 8`` bytes — 8× less than the previous ``bool`` matrix — and batch
+membership tests, completeness predicates and the closure/reachability
+kernels all run word-parallel (64 pairs per machine-word operation).
+``adjacency_bits()`` exposes the packed rows directly (read-only) so
+:mod:`repro.graphs.closure` and :mod:`repro.graphs.properties` can run
+their kernels with zero conversion cost.
 
 Draw-stream equivalence
 -----------------------
@@ -25,6 +33,9 @@ same number of uniforms per call, and keep neighbour rows in the same
 insertion order, so a process run on ``ArrayGraph`` reproduces the exact
 seeded trace of the same run on ``DynamicGraph`` under synchronous
 semantics.  ``tests/test_backend_equivalence.py`` pins this contract.
+Membership storage is invisible to the RNG draw convention: repacking the
+``bool`` matrix into bitset rows changed no trace byte (pinned by the
+golden traces under ``tests/data/``).
 
 Use :func:`as_backend` to convert a graph to the requested backend.
 """
@@ -35,6 +46,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.graphs import bitset
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
 from repro.graphs.sampling import masked_counts, uniform_indices
 
@@ -72,7 +84,7 @@ class ArrayGraph:
     that callers must not mutate.
     """
 
-    __slots__ = ("_n", "_nbr", "_deg", "_adj", "_num_edges", "_cap")
+    __slots__ = ("_n", "_nbr", "_deg", "_bits", "_num_edges", "_cap")
 
     #: backend dispatch flag: undirected graphs expose degree()/neighbors().
     directed = False
@@ -84,7 +96,7 @@ class ArrayGraph:
         self._cap = _MIN_CAPACITY
         self._nbr = np.full((self._n, self._cap), -1, dtype=np.int64)
         self._deg = np.zeros(self._n, dtype=np.int64)
-        self._adj = np.zeros((self._n, self._n), dtype=bool)
+        self._bits = bitset.zeros(self._n, self._n)
         self._num_edges = 0
         if edges is not None:
             for u, v in edges:
@@ -145,11 +157,11 @@ class ArrayGraph:
         """Return True if the undirected edge ``(u, v)`` is present."""
         if u == v:
             return False
-        return bool(self._adj[u, v])
+        return bitset.get_bit(self._bits, u, v)
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over the edges as canonical ``(min, max)`` pairs."""
-        us, vs = np.nonzero(np.triu(self._adj))
+        us, vs = np.nonzero(np.triu(bitset.unpack_bool_matrix(self._bits, self._n)))
         return iter(zip(us.tolist(), vs.tolist()))
 
     def edge_list(self) -> List[Tuple[int, int]]:
@@ -163,12 +175,12 @@ class ArrayGraph:
         """Add the undirected edge ``(u, v)``; True when genuinely new."""
         self._check_node(u)
         self._check_node(v)
-        if u == v or self._adj[u, v]:
+        if u == v or bitset.get_bit(self._bits, u, v):
             return False
         self._ensure_capacity(int(max(self._deg[u], self._deg[v])) + 1)
         self._append(u, v)
-        self._adj[u, v] = True
-        self._adj[v, u] = True
+        bitset.set_bit(self._bits, u, v)
+        bitset.set_bit(self._bits, v, u)
         self._num_edges += 1
         return True
 
@@ -204,7 +216,7 @@ class ArrayGraph:
             return []
         lo = np.minimum(us, vs)
         hi = np.maximum(us, vs)
-        cand = np.flatnonzero((lo != hi) & ~self._adj[lo, hi])
+        cand = np.flatnonzero((lo != hi) & ~bitset.get_bits(self._bits, lo, hi))
         if cand.size == 0:
             return []
         if cand.size > 1:
@@ -215,8 +227,8 @@ class ArrayGraph:
                 cand = cand[first]
         add_u, add_v = us[cand], vs[cand]
         self._write_new_edges(add_u, add_v)
-        self._adj[add_u, add_v] = True
-        self._adj[add_v, add_u] = True
+        bitset.set_bits(self._bits, add_u, add_v)
+        bitset.set_bits(self._bits, add_v, add_u)
         self._num_edges += add_u.shape[0]
         return list(zip(add_u.tolist(), add_v.tolist()))
 
@@ -318,7 +330,20 @@ class ArrayGraph:
 
     def adjacency_matrix(self) -> np.ndarray:
         """Return the dense boolean adjacency matrix (symmetric, zero diagonal)."""
-        return self._adj.copy()
+        return bitset.unpack_bool_matrix(self._bits, self._n)
+
+    def adjacency_bits(self) -> np.ndarray:
+        """The packed membership rows (``uint64``, n²/8 bits; live view, do not mutate).
+
+        Row ``u``, bit ``v`` is the edge ``(u, v)``; symmetric with a zero
+        diagonal.  This is the zero-copy input format of the closure and
+        reachability kernels in :mod:`repro.graphs.bitset`.
+        """
+        return self._bits
+
+    def membership_nbytes(self) -> int:
+        """Bytes spent on the packed membership matrix (≈ n²/8)."""
+        return int(self._bits.nbytes)
 
     def copy(self) -> "ArrayGraph":
         """Return an independent deep copy of the graph."""
@@ -326,7 +351,7 @@ class ArrayGraph:
         g._cap = self._cap
         g._nbr = self._nbr.copy()
         g._deg = self._deg.copy()
-        g._adj = self._adj.copy()
+        g._bits = self._bits.copy()
         g._num_edges = self._num_edges
         return g
 
@@ -347,8 +372,8 @@ class ArrayGraph:
         g._deg = graph.degrees()
         edge_arr = np.asarray(graph.edge_list(), dtype=np.int64).reshape(-1, 2)
         if edge_arr.size:
-            g._adj[edge_arr[:, 0], edge_arr[:, 1]] = True
-            g._adj[edge_arr[:, 1], edge_arr[:, 0]] = True
+            bitset.set_bits(g._bits, edge_arr[:, 0], edge_arr[:, 1])
+            bitset.set_bits(g._bits, edge_arr[:, 1], edge_arr[:, 0])
         g._num_edges = graph.number_of_edges()
         return g
 
@@ -385,11 +410,11 @@ class ArrayDiGraph:
 
     Mirrors :class:`~repro.graphs.adjacency.DynamicDiGraph` the way
     :class:`ArrayGraph` mirrors :class:`DynamicGraph`: out-neighbour rows in
-    a 2-D array with amortized doubling, membership in a dense boolean
-    matrix, in-degrees as counters for metrics.
+    a 2-D array with amortized doubling, membership in word-packed
+    ``uint64`` bitset rows (n²/8 bytes), in-degrees as counters for metrics.
     """
 
-    __slots__ = ("_n", "_out", "_out_deg", "_in_deg", "_adj", "_num_edges", "_cap")
+    __slots__ = ("_n", "_out", "_out_deg", "_in_deg", "_bits", "_num_edges", "_cap")
 
     #: backend dispatch flag: directed graphs expose out_degree()/out_neighbors().
     directed = True
@@ -402,7 +427,7 @@ class ArrayDiGraph:
         self._out = np.full((self._n, self._cap), -1, dtype=np.int64)
         self._out_deg = np.zeros(self._n, dtype=np.int64)
         self._in_deg = np.zeros(self._n, dtype=np.int64)
-        self._adj = np.zeros((self._n, self._n), dtype=bool)
+        self._bits = bitset.zeros(self._n, self._n)
         self._num_edges = 0
         if edges is not None:
             for u, v in edges:
@@ -458,11 +483,11 @@ class ArrayDiGraph:
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return True if the directed edge ``u -> v`` is present."""
-        return bool(self._adj[u, v])
+        return bitset.get_bit(self._bits, u, v)
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over directed edges ``(u, v)`` in canonical order."""
-        us, vs = np.nonzero(self._adj)
+        us, vs = np.nonzero(bitset.unpack_bool_matrix(self._bits, self._n))
         return iter(zip(us.tolist(), vs.tolist()))
 
     def edge_list(self) -> List[Tuple[int, int]]:
@@ -476,13 +501,13 @@ class ArrayDiGraph:
         """Add the directed edge ``u -> v``; True when genuinely new."""
         self._check_node(u)
         self._check_node(v)
-        if u == v or self._adj[u, v]:
+        if u == v or bitset.get_bit(self._bits, u, v):
             return False
         self._ensure_capacity(int(self._out_deg[u]) + 1)
         self._out[u, self._out_deg[u]] = v
         self._out_deg[u] += 1
         self._in_deg[v] += 1
-        self._adj[u, v] = True
+        bitset.set_bit(self._bits, u, v)
         self._num_edges += 1
         return True
 
@@ -508,7 +533,7 @@ class ArrayDiGraph:
         """
         if us.shape[0] == 0:
             return []
-        cand = np.flatnonzero((us != vs) & ~self._adj[us, vs])
+        cand = np.flatnonzero((us != vs) & ~bitset.get_bits(self._bits, us, vs))
         if cand.size == 0:
             return []
         if cand.size > 1:
@@ -528,7 +553,7 @@ class ArrayDiGraph:
         self._out[su, self._out_deg[su] + offsets] = add_v[order]
         self._out_deg += grow
         self._in_deg += np.bincount(add_v, minlength=self._n)
-        self._adj[add_u, add_v] = True
+        bitset.set_bits(self._bits, add_u, add_v)
         self._num_edges += add_u.shape[0]
         return list(zip(add_u.tolist(), add_v.tolist()))
 
@@ -577,7 +602,19 @@ class ArrayDiGraph:
     # ------------------------------------------------------------------ #
     def adjacency_matrix(self) -> np.ndarray:
         """Return the dense boolean adjacency matrix (``mat[u, v]`` iff ``u -> v``)."""
-        return self._adj.copy()
+        return bitset.unpack_bool_matrix(self._bits, self._n)
+
+    def adjacency_bits(self) -> np.ndarray:
+        """The packed out-edge membership rows (live view, do not mutate).
+
+        Row ``u``, bit ``v`` is the directed edge ``u -> v`` — the zero-copy
+        input of the bitset closure/reachability kernels.
+        """
+        return self._bits
+
+    def membership_nbytes(self) -> int:
+        """Bytes spent on the packed membership matrix (≈ n²/8)."""
+        return int(self._bits.nbytes)
 
     def copy(self) -> "ArrayDiGraph":
         """Return an independent deep copy of the digraph."""
@@ -586,7 +623,7 @@ class ArrayDiGraph:
         g._out = self._out.copy()
         g._out_deg = self._out_deg.copy()
         g._in_deg = self._in_deg.copy()
-        g._adj = self._adj.copy()
+        g._bits = self._bits.copy()
         g._num_edges = self._num_edges
         return g
 
@@ -605,7 +642,7 @@ class ArrayDiGraph:
         g._in_deg = graph.in_degrees()
         edge_arr = np.asarray(graph.edge_list(), dtype=np.int64).reshape(-1, 2)
         if edge_arr.size:
-            g._adj[edge_arr[:, 0], edge_arr[:, 1]] = True
+            bitset.set_bits(g._bits, edge_arr[:, 0], edge_arr[:, 1])
         g._num_edges = graph.number_of_edges()
         return g
 

@@ -1,0 +1,274 @@
+"""Word-packed (``uint64``) bitset kernels for dense set algebra.
+
+The convergence sweeps of the paper's experiments spend their rounds on
+dense-set work: membership tests ("is edge (u, v) present?"), completeness
+and closure predicates ("is every required pair connected yet?"), and
+reachability.  All of those are set-algebra operations on rows of an n×n
+boolean matrix, and a ``bool`` matrix pays one *byte* per bit.
+
+This module packs each length-``n`` boolean row into ``ceil(n / 64)``
+``uint64`` words (LSB-first within a word, so bit ``v`` of row ``u`` lives
+at ``bits[u, v >> 6] >> (v & 63) & 1``).  The memory model is therefore
+``n² / 8`` bytes — 8× smaller than the ``bool`` matrix — and every kernel
+below operates on 64 set elements per machine word:
+
+* :func:`get_bits` / :func:`set_bits` — batched membership test / insert
+  for whole ``(rows, cols)`` index arrays;
+* :func:`popcount` / :func:`row_popcounts` — word-parallel bit counting
+  (via ``np.bitwise_count`` when available, an 8-bit lookup otherwise);
+* :func:`or_rows` — OR-reduction of selected rows (the frontier-merge
+  primitive of bitset BFS);
+* :func:`transitive_closure_bits` — all-pairs reachability by Warshall
+  elimination on packed rows (n vectorized row-OR passes, O(n³ / 64) bit
+  operations total);
+* :func:`reachable_bits` / :func:`bfs_distances_bits` — single-source
+  frontier BFS that advances one whole level per row-OR.
+
+The kernels are deliberately graph-agnostic (plain arrays in, plain arrays
+out); :mod:`repro.graphs.array_adjacency` stores its membership matrix in
+this format and :mod:`repro.graphs.closure` builds the transitive-closure
+machinery on top.  Pure NumPy, no Python-level per-edge loops anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "zeros",
+    "pack_bool_matrix",
+    "unpack_bool_matrix",
+    "get_bit",
+    "set_bit",
+    "get_bits",
+    "set_bits",
+    "clear_bits",
+    "popcount",
+    "row_popcounts",
+    "count_total",
+    "or_rows",
+    "indices_from_bits",
+    "transitive_closure_bits",
+    "reachable_bits",
+    "bfs_distances_bits",
+    "transpose_bits",
+]
+
+#: bits per storage word.
+WORD_BITS = 64
+
+_ONE = np.uint64(1)
+_SIX = np.uint64(6)
+_MASK6 = np.uint64(63)
+
+#: 8-bit popcount lookup, the fallback when ``np.bitwise_count`` is absent.
+_POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def words_for(n_bits: int) -> int:
+    """Number of ``uint64`` words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def zeros(rows: int, n_bits: int) -> np.ndarray:
+    """Allocate an all-clear packed matrix of ``rows`` × ``n_bits`` bits."""
+    return np.zeros((rows, words_for(n_bits)), dtype=np.uint64)
+
+
+def _le_bytes(bits: np.ndarray) -> np.ndarray:
+    """View packed words as bytes in little-endian (LSB-first) order."""
+    arr = np.ascontiguousarray(bits)
+    if not np.little_endian:  # pragma: no cover - big-endian hosts only
+        arr = arr.byteswap()
+    return arr.view(np.uint8)
+
+
+def pack_bool_matrix(mat: np.ndarray) -> np.ndarray:
+    """Pack a 2-D boolean matrix into ``uint64`` rows (LSB-first).
+
+    The inverse of :func:`unpack_bool_matrix`; nonzero entries of any dtype
+    count as set bits.
+    """
+    mat = np.ascontiguousarray(mat, dtype=bool)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {mat.shape}")
+    rows, n_bits = mat.shape
+    words = words_for(n_bits)
+    if rows == 0 or words == 0:
+        return np.zeros((rows, words), dtype=np.uint64)
+    packed_bytes = np.packbits(mat, axis=1, bitorder="little")
+    padded = np.zeros((rows, words * 8), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    if not np.little_endian:  # pragma: no cover - big-endian hosts only
+        return padded.view(np.uint64).byteswap()
+    return padded.view(np.uint64)
+
+
+def unpack_bool_matrix(bits: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack ``uint64`` rows back to a ``(rows, n_bits)`` boolean matrix."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    rows = bits.shape[0]
+    if rows == 0 or n_bits == 0 or bits.shape[1] == 0:
+        return np.zeros((rows, n_bits), dtype=bool)
+    unpacked = np.unpackbits(_le_bytes(bits).reshape(rows, -1), axis=1, bitorder="little")
+    return unpacked[:, :n_bits].astype(bool)
+
+
+def get_bit(bits: np.ndarray, row: int, col: int) -> bool:
+    """Scalar membership test: is bit ``col`` of ``row`` set?"""
+    return bool((int(bits[row, col >> 6]) >> (col & 63)) & 1)
+
+
+def set_bit(bits: np.ndarray, row: int, col: int) -> None:
+    """Scalar insert: set bit ``col`` of ``row``."""
+    bits[row, col >> 6] |= np.uint64(1 << (col & 63))
+
+
+def _word_and_mask(cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split bit positions into (word index, single-bit mask) arrays."""
+    cols = np.asarray(cols, dtype=np.int64).astype(np.uint64)
+    return (cols >> _SIX).astype(np.int64), _ONE << (cols & _MASK6)
+
+
+def get_bits(bits: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Batched membership test: boolean array of ``bits[rows[i], cols[i]]``."""
+    rows = np.asarray(rows, dtype=np.int64)
+    word, mask = _word_and_mask(cols)
+    return (bits[rows, word] & mask) != 0
+
+
+def set_bits(bits: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> None:
+    """Batched insert: set bit ``cols[i]`` of row ``rows[i]`` for every i.
+
+    Duplicate positions and positions sharing a storage word are handled
+    correctly (unbuffered ``bitwise_or.at`` scatter).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    word, mask = _word_and_mask(cols)
+    np.bitwise_or.at(bits, (rows, word), mask)
+
+
+def clear_bits(bits: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> None:
+    """Batched clear: unset bit ``cols[i]`` of row ``rows[i]`` for every i."""
+    rows = np.asarray(rows, dtype=np.int64)
+    word, mask = _word_and_mask(cols)
+    np.bitwise_and.at(bits, (rows, word), ~mask)
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount(bits: np.ndarray) -> np.ndarray:
+        """Per-word set-bit counts (shape-preserving)."""
+        return np.bitwise_count(bits)
+
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+
+    def popcount(bits: np.ndarray) -> np.ndarray:
+        """Per-word set-bit counts via an 8-bit lookup (shape-preserving)."""
+        bits = np.asarray(bits, dtype=np.uint64)
+        per_byte = _POP8[np.ascontiguousarray(bits).view(np.uint8)]
+        return per_byte.reshape(bits.shape + (8,)).sum(axis=-1).astype(np.uint64)
+
+
+def row_popcounts(bits: np.ndarray) -> np.ndarray:
+    """Number of set bits in each row, as ``int64``."""
+    if bits.size == 0:
+        return np.zeros(bits.shape[0], dtype=np.int64)
+    return popcount(bits).sum(axis=-1).astype(np.int64)
+
+
+def count_total(bits: np.ndarray) -> int:
+    """Total number of set bits in the whole packed matrix."""
+    if bits.size == 0:
+        return 0
+    return int(popcount(bits).sum())
+
+
+def or_rows(bits: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """OR-reduce the selected rows into one packed row vector.
+
+    The frontier-merge primitive: the union of the adjacency rows of every
+    node in ``rows``, 64 membership bits per word operation.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.zeros(bits.shape[1], dtype=np.uint64)
+    return np.bitwise_or.reduce(bits[rows], axis=0)
+
+
+def indices_from_bits(row: np.ndarray, n_bits: int) -> np.ndarray:
+    """Set-bit positions of one packed row vector, ascending ``int64``."""
+    row = np.asarray(row, dtype=np.uint64).reshape(1, -1)
+    return np.flatnonzero(unpack_bool_matrix(row, n_bits)[0]).astype(np.int64)
+
+
+def transitive_closure_bits(bits: np.ndarray, n_bits: int) -> np.ndarray:
+    """All-pairs reachability (nonempty directed paths) of a packed adjacency.
+
+    Warshall elimination on packed rows: after processing pivot ``k``,
+    ``R[u]`` holds every node reachable from ``u`` through intermediates
+    ``<= k``.  Each pivot is two vectorized passes (a column extraction and
+    a masked row-OR), so the Python-level loop is O(n) regardless of the
+    edge count.  ``R[u, u]`` ends up set iff ``u`` lies on a directed cycle
+    — the same convention as the BFS reference implementation.
+    """
+    reach = np.array(bits, dtype=np.uint64, copy=True)
+    if n_bits == 0 or reach.shape[0] == 0:
+        return reach
+    for k in range(n_bits):
+        into_k = (reach[:, k >> 6] & np.uint64(1 << (k & 63))) != 0
+        if into_k.any():
+            np.bitwise_or(reach, reach[k][None, :], out=reach, where=into_k[:, None])
+    return reach
+
+
+def reachable_bits(bits: np.ndarray, source: int) -> np.ndarray:
+    """Packed set of nodes reachable from ``source`` along nonempty paths.
+
+    Frontier BFS with whole-row ORs: each iteration advances one BFS level
+    for *all* frontier nodes at once.  ``source`` itself is included only
+    when it lies on a directed cycle, matching the closure convention.
+    """
+    n_bits = bits.shape[0]
+    reach = np.zeros(bits.shape[1], dtype=np.uint64)
+    frontier = bits[source].copy()
+    while True:
+        new = frontier & ~reach
+        if not new.any():
+            return reach
+        reach |= new
+        frontier = or_rows(bits, indices_from_bits(new, n_bits))
+
+
+def bfs_distances_bits(bits: np.ndarray, source: int) -> np.ndarray:
+    """BFS distances from ``source`` over a packed adjacency (unreachable = -1).
+
+    Level-synchronous: one row-OR merge per BFS level instead of one queue
+    pop per node, so the distance array of a whole level is written in one
+    vectorized assignment.
+    """
+    n_bits = bits.shape[0]
+    dist = np.full(n_bits, -1, dtype=np.int64)
+    dist[source] = 0
+    visited = np.zeros(bits.shape[1], dtype=np.uint64)
+    set_bit(visited.reshape(1, -1), 0, source)
+    frontier = bits[source] & ~visited
+    level = 1
+    while frontier.any():
+        members = indices_from_bits(frontier, n_bits)
+        dist[members] = level
+        visited |= frontier
+        frontier = or_rows(bits, members) & ~visited
+        level += 1
+    return dist
+
+
+def transpose_bits(bits: np.ndarray, n_bits: int) -> np.ndarray:
+    """Packed transpose (reverse-edge adjacency) of a packed square matrix."""
+    return pack_bool_matrix(unpack_bool_matrix(bits, n_bits).T)

@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Set, Union
 
 import numpy as np
 
+from repro.graphs import bitset
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
 
 __all__ = [
@@ -61,8 +62,14 @@ def _out_adjacency(graph: GraphLike, u: int) -> Sequence[int]:
 def bfs_distances(graph: GraphLike, source: int) -> np.ndarray:
     """Return the array of BFS distances from ``source`` (unreachable = -1).
 
-    For directed graphs the distances follow out-edges only.
+    For directed graphs the distances follow out-edges only.  Graphs that
+    store packed membership rows (the array backend) take the word-parallel
+    level-synchronous path of :func:`repro.graphs.bitset.bfs_distances_bits`;
+    list-backed graphs keep the per-node queue BFS.
     """
+    native_bits = getattr(graph, "adjacency_bits", None)
+    if native_bits is not None:
+        return bitset.bfs_distances_bits(native_bits(), source)
     n = graph.n
     dist = np.full(n, -1, dtype=np.int64)
     dist[source] = 0
@@ -154,7 +161,11 @@ def is_strongly_connected(graph: DynamicDiGraph) -> bool:
         return True
     if not bool((bfs_distances(graph, 0) >= 0).all()):
         return False
-    # Reverse reachability: build the reverse digraph once and BFS from 0.
+    # Reverse reachability: BFS from 0 over the reversed edges.
+    native_bits = getattr(graph, "adjacency_bits", None)
+    if native_bits is not None:
+        reverse_bits = bitset.transpose_bits(native_bits(), n)
+        return bool((bitset.bfs_distances_bits(reverse_bits, 0) >= 0).all())
     reverse = DynamicDiGraph(n)
     for u, v in graph.edges():
         reverse.add_edge(v, u)

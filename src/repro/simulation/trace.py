@@ -92,7 +92,10 @@ class TraceRecorder:
         self.trace.rounds.append(result.round_index)
         self.trace.num_edges.append(graph.number_of_edges())
         self.trace.edges_added.append(result.num_added)
-        if not getattr(graph, "directed", False):
+        cached = getattr(process, "cached_min_degree", None)
+        if cached is not None:
+            self.trace.min_degree.append(cached())
+        elif not getattr(graph, "directed", False):
             self.trace.min_degree.append(graph.min_degree())
         else:
             self.trace.min_degree.append(int(graph.out_degrees().min()) if graph.n else 0)

@@ -1,9 +1,12 @@
-"""Unit tests for the stopping predicates."""
+"""Unit tests for the stopping predicates and the incremental counters behind them."""
 
+import numpy as np
 import pytest
 
 from repro.core import convergence as conv
+from repro.core.base import UpdateSemantics
 from repro.core.directed import DirectedTwoHopWalk
+from repro.core.pull import PullDiscovery
 from repro.core.push import PushDiscovery
 from repro.graphs import directed_generators as dgen
 from repro.graphs import generators as gen
@@ -65,3 +68,41 @@ class TestPredicates:
         result = proc.run(10_000, until=conv.min_degree_reached(4))
         assert g.min_degree() >= 4
         assert result.converged
+
+
+class TestIncrementalCounters:
+    """The cached degree/min-degree counters track the graph exactly."""
+
+    @pytest.mark.parametrize("backend", ["list", "array"])
+    @pytest.mark.parametrize("process_cls", [PushDiscovery, PullDiscovery])
+    def test_degree_view_tracks_graph_every_round(self, process_cls, backend):
+        proc = process_cls(gen.cycle_graph(16), rng=7, backend=backend)
+        assert np.array_equal(proc.degree_view(), proc.graph.degrees())
+        assert proc.cached_min_degree() == proc.graph.min_degree()
+        for _ in range(40):
+            proc.step()
+            assert np.array_equal(proc.degree_view(), proc.graph.degrees())
+            assert proc.cached_min_degree() == proc.graph.min_degree()
+
+    @pytest.mark.parametrize("backend", ["list", "array"])
+    def test_degree_view_tracks_directed_out_degrees(self, backend):
+        proc = DirectedTwoHopWalk(dgen.directed_cycle(12), rng=3, backend=backend)
+        for _ in range(30):
+            proc.step()
+            assert np.array_equal(proc.degree_view(), proc.graph.out_degrees())
+            assert proc.cached_min_degree() == int(proc.graph.out_degrees().min())
+
+    def test_degree_view_tracks_sequential_semantics(self):
+        proc = PushDiscovery(gen.cycle_graph(10), rng=5, semantics=UpdateSemantics.SEQUENTIAL)
+        for _ in range(25):
+            proc.step()
+            assert np.array_equal(proc.degree_view(), proc.graph.degrees())
+            assert proc.cached_min_degree() == proc.graph.min_degree()
+
+    def test_cache_self_heals_after_external_mutation(self):
+        """Edges added behind the engine's back are picked up via the edge count."""
+        proc = PushDiscovery(gen.cycle_graph(8), rng=0)
+        assert proc.cached_min_degree() == 2
+        proc.graph.add_edge(0, 4)
+        assert np.array_equal(proc.degree_view(), proc.graph.degrees())
+        assert proc.cached_min_degree() == proc.graph.min_degree()
