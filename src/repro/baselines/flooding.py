@@ -6,6 +6,23 @@ squares the reachable radius every round, so the process completes in
 ⌈log₂ diameter⌉ + O(1) rounds — the fewest rounds any local algorithm can
 hope for — but the per-round traffic is Θ(n · m) IDs.  It anchors the
 "rounds vs bits" trade-off plot of experiment E10.
+
+Backend-agnostic: the list backend runs the per-node reference loop
+(snapshot every knowledge set, deliver payload by payload), while the
+array backend runs the whole round as **one pass of row unions** on the
+word-packed membership rows: node ``v``'s new row is the OR of its
+neighbours' round-start rows (:func:`repro.graphs.bitset.rows_or_into`),
+the genuinely new edges fall out of the popcount delta
+(:func:`repro.graphs.bitset.delta_edges`), and degree sums feed
+``messages_sent``/``bits_sent``.  Flooding draws no randomness, so both
+paths add the identical per-round edge sets; the packed round discovers
+them in canonical rather than scan order and does not materialise the
+Θ(n · m) ``proposed_edges`` list (its ``added_edges`` and accounting are
+exact).
+
+Flooding is deterministic and purely synchronous: the round is computed
+against the round-start snapshot regardless of the ``semantics`` setting
+(matching the historical behaviour of this module).
 """
 
 from __future__ import annotations
@@ -14,8 +31,10 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.baselines._packed import concat_rows, packed_rows, require_undirected
 from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
-from repro.graphs.adjacency import DynamicGraph
+from repro.graphs import bitset
+from repro.graphs.array_adjacency import as_backend
 
 __all__ = ["NeighborhoodFlooding"]
 
@@ -27,12 +46,14 @@ class NeighborhoodFlooding(DiscoveryProcess):
 
     def __init__(
         self,
-        graph: DynamicGraph,
+        graph,
         rng: Union[np.random.Generator, int, None] = None,
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+        backend: Optional[str] = None,
     ) -> None:
-        if not isinstance(graph, DynamicGraph):
-            raise TypeError("NeighborhoodFlooding requires an undirected DynamicGraph")
+        if backend is not None:
+            graph = as_backend(graph, backend)
+        require_undirected(graph, "NeighborhoodFlooding")
         super().__init__(graph, rng, semantics)
 
     def propose(self, node: int) -> Optional[Tuple[int, int]]:  # pragma: no cover - unused
@@ -41,10 +62,23 @@ class NeighborhoodFlooding(DiscoveryProcess):
     def step(self) -> RoundResult:
         """One synchronous flooding round."""
         result = RoundResult(round_index=self.round_index)
-        # Snapshot every node's knowledge (its neighbour set plus itself) first.
-        knowledge: List[List[int]] = [list(self.graph.neighbors(u)) + [u] for u in self.graph.nodes()]
-        recipients: List[List[int]] = [list(self.graph.neighbors(u)) for u in self.graph.nodes()]
-        for u in self.graph.nodes():
+        packed = packed_rows(self.graph)
+        if packed is not None:
+            self._packed_round(result, *packed)
+        else:
+            self._reference_round(result)
+        self.round_index += 1
+        self.total_edges_added += result.num_added
+        self.total_messages += result.messages_sent
+        self.total_bits += result.bits_sent
+        return result
+
+    def _reference_round(self, result: RoundResult) -> None:
+        """Per-node reference round: snapshot all knowledge, deliver payload by payload."""
+        graph = self.graph
+        knowledge: List[List[int]] = [list(graph.neighbors(u)) + [u] for u in graph.nodes()]
+        recipients: List[List[int]] = [list(graph.neighbors(u)) for u in graph.nodes()]
+        for u in graph.nodes():
             payload = knowledge[u]
             for v in recipients[u]:
                 result.messages_sent += 1
@@ -53,13 +87,39 @@ class NeighborhoodFlooding(DiscoveryProcess):
                     if w == v:
                         continue
                     result.proposed_edges.append((v, w))
-                    if self.graph.add_edge(v, w):
+                    if graph.add_edge(v, w):
                         result.added_edges.append((v, w))
-        self.round_index += 1
-        self.total_edges_added += result.num_added
-        self.total_messages += result.messages_sent
-        self.total_bits += result.bits_sent
-        return result
+        self._note_added_edges(result.added_edges)
+
+    def _packed_round(
+        self, result: RoundResult, rows: np.ndarray, deg: np.ndarray, bits: np.ndarray
+    ) -> None:
+        """One pass of row unions on the packed membership rows.
+
+        Every node ``v`` receives the round-start row of each neighbour
+        ``u``; a sender's own ID bit is already present in the recipient's
+        row, so the neighbour-row union *is* the whole merge.  The scatter
+        runs over the flattened neighbour block (one row-OR per delivered
+        message) and the new edges are the popcount delta between the old
+        and unioned rows.
+        """
+        graph = self.graph
+        n = graph.n
+        receivers = np.flatnonzero(deg > 0)
+        counts = deg[receivers]
+        # Each node sends its (deg+1)-ID knowledge set to every neighbour.
+        result.messages_sent = int(counts.sum())
+        result.bits_sent = int((counts * (counts + 1)).sum()) * self._id_bits
+        if receivers.size == 0:
+            return
+        senders = concat_rows(rows, deg, receivers)
+        merged = bits.copy()
+        bitset.rows_or_into(merged, np.repeat(receivers, counts), bits, senders)
+        nodes = np.arange(n, dtype=np.int64)
+        bitset.clear_bits(merged, nodes, nodes)  # no self-knowledge edges
+        us, vs = bitset.delta_edges(bits, merged, n)
+        result.added_edges = graph.add_edges_batch_arrays(us, vs)
+        self._note_added_edges(result.added_edges)
 
     def is_converged(self) -> bool:
         """Flooding also converges to the complete graph."""

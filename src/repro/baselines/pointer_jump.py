@@ -8,7 +8,17 @@ Harchol-Balter et al. example gives it an Ω(n) round lower bound.
 
 We provide both the directed form (the one discussed in the paper, used
 as a baseline for the directed two-hop walk experiments) and an undirected
-form for the undirected comparison sweep.
+form for the undirected comparison sweep.  Both forms are
+backend-agnostic: the list backend runs the per-node reference loop, the
+array backend expands every pulled payload — the chosen neighbour's whole
+row — from the padded (out-)neighbour block in one gather and applies the
+round through the graph's batched row-union insert, with degree sums
+feeding the ``messages_sent``/``bits_sent`` accounting.
+
+Trace contract: synchronous rounds draw one bulk ``rng.random(n)`` per
+round (the shared backend draw convention), sequential rounds one
+``rng.integers`` per active node; payloads are snapshotted against the
+round-start graph, so seeded traces are identical across backends.
 """
 
 from __future__ import annotations
@@ -17,8 +27,9 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
-from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+from repro.baselines._packed import concat_rows, packed_rows
+from repro.core.base import BatchProposals, DiscoveryProcess, RoundResult, UpdateSemantics
+from repro.graphs.array_adjacency import as_backend
 from repro.graphs.closure import transitive_closure_edges
 
 __all__ = ["RandomPointerJump"]
@@ -37,10 +48,13 @@ class RandomPointerJump(DiscoveryProcess):
 
     def __init__(
         self,
-        graph: Union[DynamicGraph, DynamicDiGraph],
+        graph,
         rng: Union[np.random.Generator, int, None] = None,
         semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None:
+            graph = as_backend(graph, backend)
         super().__init__(graph, rng, semantics)
         # Flag-based so the array-backend graphs classify correctly too.
         self._directed = bool(getattr(graph, "directed", False))
@@ -58,34 +72,110 @@ class RandomPointerJump(DiscoveryProcess):
             return list(self.graph.out_neighbors(u))
         return list(self.graph.neighbors(u))
 
+    def _bulk_targets(self, nodes: np.ndarray) -> np.ndarray:
+        """One bulk uniform (out-)neighbour draw for the whole round."""
+        if self._directed:
+            return self.graph.random_out_neighbors(nodes, self.rng)
+        return self.graph.random_neighbors(nodes, self.rng)
+
     def step(self) -> RoundResult:
-        """One synchronous Random Pointer Jump round."""
+        """One Random Pointer Jump round under the configured update semantics."""
         result = RoundResult(round_index=self.round_index)
-        actions: List[Tuple[int, int, List[int]]] = []
-        for u in self.graph.nodes():
-            nbrs = self._neighbors(u)
-            if not nbrs:
-                continue
-            v = nbrs[int(self.rng.integers(len(nbrs)))]
-            payload = self._neighbors(v)
-            actions.append((u, v, payload))
-        for u, v, payload in actions:
-            result.messages_sent += 2  # request + bulk reply
-            result.bits_sent += (1 + len(payload)) * self._id_bits
-            for w in payload:
-                if w == u:
-                    continue
-                result.proposed_edges.append((u, w))
-                added = self.graph.add_edge(u, w)
-                if added:
-                    result.added_edges.append((u, w))
-                    if self._missing is not None:
-                        self._missing.discard((u, w))
+        if self.semantics is UpdateSemantics.SEQUENTIAL:
+            self._sequential_round(result)
+        else:
+            packed = packed_rows(self.graph)
+            if packed is not None:
+                self._packed_round(result, *packed)
+            else:
+                self._reference_round(result)
         self.round_index += 1
         self.total_edges_added += result.num_added
         self.total_messages += result.messages_sent
         self.total_bits += result.bits_sent
         return result
+
+    def _scalar_target(self, u: int) -> Optional[int]:
+        """One ``rng.integers`` draw for the sequential per-node path."""
+        nbrs = self._neighbors(u)
+        if not nbrs:
+            return None
+        return nbrs[int(self.rng.integers(len(nbrs)))]
+
+    def _sequential_round(self, result: RoundResult) -> None:
+        """Sequential ablation: nodes act in index order on the evolving graph."""
+        for u in self.graph.nodes():
+            v = self._scalar_target(u)
+            if v is None:
+                continue
+            self._apply_action(u, self._neighbors(v), result)
+        self._note_added_edges(result.added_edges)
+
+    def _reference_round(self, result: RoundResult) -> None:
+        """Synchronous reference round: snapshot payloads, then apply in node order."""
+        graph = self.graph
+        nodes = np.arange(graph.n, dtype=np.int64)
+        targets = self._bulk_targets(nodes)
+        actions: List[Tuple[int, List[int]]] = []
+        for u in range(graph.n):
+            v = int(targets[u])
+            if v < 0:
+                continue
+            actions.append((u, self._neighbors(v)))
+        for u, payload in actions:
+            self._apply_action(u, payload, result)
+        self._note_added_edges(result.added_edges)
+
+    def _packed_round(
+        self, result: RoundResult, rows: np.ndarray, deg: np.ndarray, bits: np.ndarray
+    ) -> None:
+        """Synchronous packed round: gather every pulled row in one expansion.
+
+        The pulled payloads are the chosen neighbours' padded rows,
+        flattened in node order, so the batched insert reproduces the
+        reference path's first-occurrence edge order exactly and neighbour
+        rows stay aligned across backends.
+        """
+        graph = self.graph
+        nodes = np.arange(graph.n, dtype=np.int64)
+        targets = self._bulk_targets(nodes)
+        pullers = np.flatnonzero(targets >= 0)
+        result.messages_sent = 2 * int(pullers.size)  # request + bulk reply each
+        chosen = targets[pullers]
+        counts = deg[chosen]
+        result.bits_sent = int((1 + counts).sum()) * self._id_bits
+        if pullers.size == 0:
+            return
+        payload = concat_rows(rows, deg, chosen)
+        learners = np.repeat(pullers, counts)
+        keep = learners != payload
+        learners, payload = learners[keep], payload[keep]
+        result.attach_batch(
+            BatchProposals(
+                int(pullers.size),
+                learners,
+                payload,
+                np.repeat(np.arange(pullers.size, dtype=np.int64), counts)[keep],
+            )
+        )
+        added = graph.add_edges_batch_arrays(learners, payload)
+        result.added_edges = added
+        if self._missing is not None:
+            self._missing.difference_update(added)
+        self._note_added_edges(added)
+
+    def _apply_action(self, u: int, payload: List[int], result: RoundResult) -> None:
+        result.messages_sent += 2  # request + bulk reply
+        result.bits_sent += (1 + len(payload)) * self._id_bits
+        for w in payload:
+            if w == u:
+                continue
+            result.proposed_edges.append((u, w))
+            added = self.graph.add_edge(u, w)
+            if added:
+                result.added_edges.append((u, w))
+                if self._missing is not None:
+                    self._missing.discard((u, w))
 
     def is_converged(self) -> bool:
         """Complete graph (undirected) or transitive closure (directed)."""

@@ -199,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=["list", "array"],
         default="list",
-        help="graph backend: list (default) or the vectorized array fast path",
+        help="graph backend: list (default) or the vectorized array fast path "
+        "(supported by every process, baselines included)",
     )
     p_run.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_run.set_defaults(func=_cmd_run)
@@ -216,7 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=["list", "array"],
         default="list",
-        help="graph backend: list (default) or the vectorized array fast path",
+        help="graph backend: list (default) or the vectorized array fast path "
+        "(supported by every process, baselines included)",
     )
     p_scaling.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_scaling.set_defaults(func=_cmd_scaling)
@@ -244,7 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=["list", "array"],
         default="list",
-        help="graph backend: list (default) or the vectorized array fast path",
+        help="graph backend: list (default) or the vectorized array fast path "
+        "(supported by every process, baselines included)",
     )
     p_dir.set_defaults(func=_cmd_directed)
 

@@ -153,6 +153,16 @@ class ArrayGraph:
         self._check_node(u)
         return self._nbr[u, : self._deg[u]]
 
+    def neighbor_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The padded neighbour-row block and the degree vector (live views).
+
+        Row ``u`` holds ``neighbors(u)`` in insertion order in its first
+        ``deg[u]`` slots (``-1`` padding beyond).  This is the whole-graph
+        input of the baselines' vectorized payload expansion; callers must
+        not mutate either array.
+        """
+        return self._nbr, self._deg
+
     def has_edge(self, u: int, v: int) -> bool:
         """Return True if the undirected edge ``(u, v)`` is present."""
         if u == v:
@@ -480,6 +490,14 @@ class ArrayDiGraph:
         """Out-neighbour row of ``u`` in insertion order (live view; do not mutate)."""
         self._check_node(u)
         return self._out[u, : self._out_deg[u]]
+
+    def out_neighbor_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The padded out-neighbour-row block and out-degree vector (live views).
+
+        Directed counterpart of :meth:`ArrayGraph.neighbor_rows`; callers
+        must not mutate either array.
+        """
+        return self._out, self._out_deg
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return True if the directed edge ``u -> v`` is present."""

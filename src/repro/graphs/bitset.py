@@ -18,6 +18,9 @@ below operates on 64 set elements per machine word:
   (via ``np.bitwise_count`` when available, an 8-bit lookup otherwise);
 * :func:`or_rows` — OR-reduction of selected rows (the frontier-merge
   primitive of bitset BFS);
+* :func:`rows_or_into` / :func:`delta_edges` — scatter row-union delivery
+  and new-edge extraction (the payload-merge primitives of the baseline
+  processes, whose messages are whole neighbour sets);
 * :func:`transitive_closure_bits` — all-pairs reachability by Warshall
   elimination on packed rows (n vectorized row-OR passes, O(n³ / 64) bit
   operations total);
@@ -32,7 +35,7 @@ machinery on top.  Pure NumPy, no Python-level per-edge loops anywhere.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +54,8 @@ __all__ = [
     "row_popcounts",
     "count_total",
     "or_rows",
+    "rows_or_into",
+    "delta_edges",
     "indices_from_bits",
     "transitive_closure_bits",
     "reachable_bits",
@@ -200,6 +205,66 @@ def or_rows(bits: np.ndarray, rows: np.ndarray) -> np.ndarray:
     if rows.size == 0:
         return np.zeros(bits.shape[1], dtype=np.uint64)
     return np.bitwise_or.reduce(bits[rows], axis=0)
+
+
+def rows_or_into(
+    dst_bits: np.ndarray,
+    dst_rows: np.ndarray,
+    src_bits: np.ndarray,
+    src_rows: Optional[np.ndarray] = None,
+    chunk: int = 8192,
+) -> None:
+    """Batched row-union delivery: OR source rows into destination rows.
+
+    For every delivery ``i``, ``dst_bits[dst_rows[i]] |= payload_i`` where
+    ``payload_i`` is ``src_bits[src_rows[i]]`` (or row ``i`` of ``src_bits``
+    itself when ``src_rows`` is None and ``src_bits`` carries one payload
+    row per delivery).  This is the packed form of "send your whole known
+    set": one message becomes one row-OR, 64 IDs per word operation.
+    Duplicate destinations accumulate correctly (unbuffered
+    ``bitwise_or.at`` scatter), and the payload gather is chunked so peak
+    scratch memory stays at ``chunk`` rows regardless of how many
+    deliveries a round makes.
+    """
+    dst_rows = np.asarray(dst_rows, dtype=np.int64)
+    deliveries = dst_rows.shape[0]
+    if src_rows is not None:
+        src_rows = np.asarray(src_rows, dtype=np.int64)
+        if src_rows.shape[0] != deliveries:
+            raise ValueError(
+                f"src_rows has {src_rows.shape[0]} entries for {deliveries} deliveries"
+            )
+    elif src_bits.shape[0] != deliveries:
+        raise ValueError(
+            f"src_bits has {src_bits.shape[0]} payload rows for {deliveries} deliveries"
+        )
+    for start in range(0, deliveries, chunk):
+        stop = min(start + chunk, deliveries)
+        if src_rows is not None:
+            payload = src_bits[src_rows[start:stop]]
+        else:
+            payload = src_bits[start:stop]
+        np.bitwise_or.at(dst_bits, dst_rows[start:stop], payload)
+
+
+def delta_edges(
+    old_bits: np.ndarray, new_bits: np.ndarray, n_bits: int, directed: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Endpoint arrays of the bits set in ``new_bits`` but not ``old_bits``.
+
+    The popcount-delta companion of :func:`rows_or_into`: after a round of
+    row-union deliveries, this extracts exactly the genuinely new edges in
+    canonical row-major order.  With ``directed=False`` each undirected
+    edge is reported once, oriented ``u < v`` (upper triangle).
+    """
+    delta = unpack_bool_matrix(new_bits & ~old_bits, n_bits)
+    us, vs = np.nonzero(delta)
+    us, vs = us.astype(np.int64), vs.astype(np.int64)
+    if directed:
+        return us, vs
+    # One undirected report per edge (u < v) without a second dense copy.
+    keep = us < vs
+    return us[keep], vs[keep]
 
 
 def indices_from_bits(row: np.ndarray, n_bits: int) -> np.ndarray:

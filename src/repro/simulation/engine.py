@@ -49,12 +49,11 @@ PROCESS_REGISTRY: Dict[str, Tuple[Callable[..., DiscoveryProcess], bool]] = {
     "faulty_pull": (FaultyPullDiscovery, False),
 }
 
-#: processes that accept the NumPy array backend (the paper's three core
-#: processes run vectorized kernels on it; the faulty variants run their
-#: bulk path on it too).  The baselines keep their list-graph assumptions.
-ARRAY_BACKEND_PROCESSES = frozenset(
-    {"push", "pull", "directed_pull", "faulty_push", "faulty_pull"}
-)
+#: processes that accept the NumPy array backend.  Since the baselines
+#: were ported onto the packed bitset substrate (payloads as membership
+#: rows, deliveries as row unions) every registered process qualifies;
+#: the set is kept as the explicit opt-in list for future processes.
+ARRAY_BACKEND_PROCESSES = frozenset(PROCESS_REGISTRY)
 
 
 def process_names() -> Sequence[str]:
@@ -73,7 +72,8 @@ def make_process(
     """Build a process by registry name over ``graph``.
 
     ``backend`` selects the graph substrate: ``"list"`` (default behaviour)
-    or ``"array"`` (the vectorized fast path; only for the processes in
+    or ``"array"`` (the vectorized fast path — supported by every
+    registered process, baselines included; see
     :data:`ARRAY_BACKEND_PROCESSES`).  The graph is converted as needed.
 
     Raises ``KeyError`` for unknown names and ``TypeError`` when the graph

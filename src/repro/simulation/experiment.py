@@ -50,7 +50,9 @@ class ExperimentSpec:
         Optional hard cap per trial (defaults to the process's own cap).
     backend:
         Graph backend for the trials: ``"list"`` (default) or ``"array"``
-        (the vectorized fast path; identical seeded results).
+        (the vectorized fast path; identical seeded results).  Every
+        registered process supports both — the baselines included, since
+        their payload rounds run on the packed bitset substrate.
     label:
         Free-form tag used in result tables.
     """

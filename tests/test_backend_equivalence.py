@@ -12,6 +12,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.baselines.flooding import NeighborhoodFlooding
+from repro.baselines.name_dropper import NameDropper
+from repro.baselines.pointer_jump import RandomPointerJump
+from repro.core.base import UpdateSemantics
 from repro.core.directed import DirectedTwoHopWalk
 from repro.core.pull import PullDiscovery
 from repro.core.push import PushDiscovery
@@ -39,13 +43,23 @@ DIRECTED_FAMILIES = {
 }
 
 
-def run_trace(process_cls, base_graph, seed, backend, **kwargs):
-    """Run to convergence and return every trace-visible quantity."""
+def run_trace(process_cls, base_graph, seed, backend, normalize=False, **kwargs):
+    """Run to convergence and return every trace-visible quantity.
+
+    ``normalize=True`` canonicalises undirected edge orientation — needed
+    for flooding, whose packed round reports new edges as ``u < v`` while
+    the list loop records them in delivery orientation (same edge sets).
+    """
     graph = as_backend(base_graph.copy(), backend)
     process = process_cls(graph, rng=seed, **kwargs)
     result = process.run_to_convergence(record_history=True)
+
+    def canon(u, v):
+        u, v = int(u), int(v)
+        return (u, v) if not normalize or u < v else (v, u)
+
     per_round_added = [
-        frozenset((int(u), int(v)) for u, v in r.added_edges) for r in result.history
+        frozenset(canon(u, v) for u, v in r.added_edges) for r in result.history
     ]
     return {
         "rounds": result.rounds,
@@ -87,6 +101,57 @@ class TestUndirectedEquivalence:
         assert ref == fast
 
 
+class TestBaselineEquivalence:
+    """The three baselines (PR 3) are trace-identical across backends too."""
+
+    @pytest.mark.parametrize("family", sorted(UNDIRECTED_FAMILIES))
+    @pytest.mark.parametrize(
+        "process_cls", [NameDropper, RandomPointerJump, NeighborhoodFlooding]
+    )
+    def test_baseline_trace_identical(self, process_cls, family):
+        base = UNDIRECTED_FAMILIES[family]()
+        for seed in SEEDS:
+            ref = run_trace(process_cls, base, seed, "list", normalize=True)
+            fast = run_trace(process_cls, base, seed, "array", normalize=True)
+            assert ref == fast
+
+    @pytest.mark.parametrize("family", sorted(DIRECTED_FAMILIES))
+    def test_directed_pointer_jump_trace_identical(self, family):
+        base = DIRECTED_FAMILIES[family]()
+        for seed in SEEDS:
+            ref = run_trace(RandomPointerJump, base, seed, "list")
+            fast = run_trace(RandomPointerJump, base, seed, "array")
+            assert ref == fast
+
+    @pytest.mark.parametrize("process_cls", [NameDropper, RandomPointerJump])
+    def test_sequential_baseline_trace_identical(self, process_cls):
+        """Sequential rounds use scalar draws; both backends consume the same stream."""
+        base = gen.path_graph(18)
+        ref = run_trace(
+            process_cls, base, 13, "list", semantics=UpdateSemantics.SEQUENTIAL
+        )
+        fast = run_trace(
+            process_cls, base, 13, "array", semantics=UpdateSemantics.SEQUENTIAL
+        )
+        assert ref == fast
+
+    @pytest.mark.parametrize("process_cls", [NameDropper, RandomPointerJump])
+    def test_exact_added_order_parity(self, process_cls):
+        """Name Dropper / pointer jump packed rounds reproduce the exact edge
+        application order of the reference loop (not just the sets) — the
+        invariant that keeps neighbour rows, and hence future draws, aligned."""
+        base = gen.cycle_graph(24)
+        runs = {}
+        for backend in ("list", "array"):
+            graph = as_backend(base.copy(), backend)
+            process = process_cls(graph, rng=9)
+            result = process.run_to_convergence(record_history=True)
+            runs[backend] = [
+                [(int(u), int(v)) for u, v in r.added_edges] for r in result.history
+            ]
+        assert runs["list"] == runs["array"]
+
+
 class TestDirectedEquivalence:
     @pytest.mark.parametrize("family", sorted(DIRECTED_FAMILIES))
     def test_directed_trace_identical(self, family):
@@ -112,9 +177,18 @@ class TestEngineBackendOption:
             results[backend] = (run.rounds, run.total_messages, run.total_bits)
         assert results["list"] == results["array"]
 
-    def test_make_process_rejects_array_for_baselines(self):
-        with pytest.raises(ValueError, match="array backend"):
-            make_process("name_dropper", gen.cycle_graph(8), rng=0, backend="array")
+    @pytest.mark.parametrize("name", ["name_dropper", "pointer_jump", "flooding"])
+    def test_make_process_accepts_array_for_baselines(self, name):
+        """Baselines run on both backends end-to-end with identical seeded totals."""
+        base = gen.cycle_graph(16)
+        results = {}
+        for backend in ("list", "array"):
+            proc = make_process(name, base.copy(), rng=3, backend=backend)
+            assert proc.backend == backend
+            run = proc.run_to_convergence()
+            assert run.converged
+            results[backend] = (run.rounds, run.total_messages, run.total_bits)
+        assert results["list"] == results["array"]
 
     def test_pointer_jump_classifies_array_graphs(self):
         """Handed an array graph directly, pointer jump picks the right mode."""

@@ -6,10 +6,12 @@ import pytest
 from repro.baselines.flooding import NeighborhoodFlooding
 from repro.baselines.name_dropper import NameDropper
 from repro.baselines.pointer_jump import RandomPointerJump
+from repro.core.base import UpdateSemantics
 from repro.core.push import PushDiscovery
 from repro.graphs import directed_generators as dgen
 from repro.graphs import generators as gen
 from repro.graphs.adjacency import DynamicDiGraph
+from repro.graphs.array_adjacency import as_backend
 from repro.graphs.closure import is_transitively_closed
 
 
@@ -17,6 +19,20 @@ class TestNameDropper:
     def test_requires_undirected(self):
         with pytest.raises(TypeError):
             NameDropper(DynamicDiGraph(3, [(0, 1)]))
+
+    def test_requires_undirected_array_backend(self):
+        with pytest.raises(TypeError):
+            NameDropper(as_backend(dgen.directed_cycle(6), "array"))
+
+    def test_rejects_non_graph_objects(self):
+        with pytest.raises(TypeError, match="protocol"):
+            NameDropper(type("NotAGraph", (), {"directed": False})())
+
+    def test_accepts_array_graph(self):
+        graph = as_backend(gen.cycle_graph(12), "array")
+        proc = NameDropper(graph, rng=0)
+        assert proc.run_to_convergence().converged
+        assert graph.is_complete()
 
     def test_converges_fast(self):
         g = gen.path_graph(16)
@@ -55,6 +71,61 @@ class TestNameDropper:
         assert nd_rounds < push_rounds
 
 
+class TestNameDropperDrawStream:
+    """The RNG contract of both update semantics, pinned generator-state-exact."""
+
+    @pytest.mark.parametrize("backend", ["list", "array"])
+    def test_sequential_draws_once_per_active_node(self, backend):
+        """Regression for the double-draw bug: one ``rng.integers`` per active
+        node, and the round's effect equals the manual index-order replay
+        (the old code pre-sampled a discarded pass first, consuming two
+        draws per node and corrupting the sampling stream)."""
+        base = gen.path_graph(10)
+        proc = NameDropper(
+            as_backend(base.copy(), backend),
+            rng=np.random.default_rng(123),
+            semantics=UpdateSemantics.SEQUENTIAL,
+        )
+        proc.step()
+        replay = base.copy()
+        rng = np.random.default_rng(123)
+        for u in replay.nodes():
+            nbrs = list(replay.neighbors(u))
+            if not nbrs:
+                continue
+            v = nbrs[int(rng.integers(len(nbrs)))]
+            for w in nbrs + [u]:
+                if w != v:
+                    replay.add_edge(v, w)
+        assert sorted(map(tuple, proc.graph.edge_list())) == replay.edge_list()
+        # Identical generator states <=> identical draw counts and kinds.
+        assert proc.rng.bit_generator.state == rng.bit_generator.state
+
+    @pytest.mark.parametrize("backend", ["list", "array"])
+    def test_synchronous_consumes_one_bulk_draw(self, backend):
+        """A synchronous round consumes exactly ``rng.random(n)`` — the shared
+        bulk-draw convention that makes backends trace-identical."""
+        proc = NameDropper(
+            as_backend(gen.path_graph(10), backend), rng=np.random.default_rng(7)
+        )
+        proc.step()
+        rng = np.random.default_rng(7)
+        rng.random(10)
+        assert proc.rng.bit_generator.state == rng.bit_generator.state
+
+    def test_sequential_differs_from_synchronous(self):
+        """Same seed, different semantics: sequential nodes exploit edges added
+        earlier in the same round, so the first round already diverges."""
+        base = gen.star_graph(9)
+        sync = NameDropper(base.copy(), rng=2, semantics=UpdateSemantics.SYNCHRONOUS)
+        seq = NameDropper(base.copy(), rng=2, semantics=UpdateSemantics.SEQUENTIAL)
+        sync_added = sync.step().num_added
+        seq_added = seq.step().num_added
+        # The star's hub name-drop floods a leaf with every ID; under
+        # sequential semantics later leaves can already use those edges.
+        assert sync_added != seq_added or sync.graph.edge_list() != seq.graph.edge_list()
+
+
 class TestRandomPointerJump:
     def test_undirected_converges_to_complete(self):
         g = gen.cycle_graph(12)
@@ -87,11 +158,59 @@ class TestRandomPointerJump:
         assert proc.is_converged()
         assert proc.run_to_convergence().rounds == 0
 
+    def test_directed_array_backend_converges_to_closure(self):
+        g = as_backend(dgen.directed_cycle(8), "array")
+        proc = RandomPointerJump(g, rng=0)
+        assert proc.run_to_convergence().converged
+        assert is_transitively_closed(g)
+        assert g.number_of_edges() == 8 * 7
+
+    def test_sequential_semantics_sees_same_round_edges(self):
+        """Sequential pointer jump applies immediately: later nodes can pull
+        neighbour sets that already grew this round."""
+        proc = RandomPointerJump(
+            gen.path_graph(12), rng=3, semantics=UpdateSemantics.SEQUENTIAL
+        )
+        result = proc.run_to_convergence()
+        assert result.converged
+        assert proc.graph.is_complete()
+
 
 class TestNeighborhoodFlooding:
     def test_requires_undirected(self):
         with pytest.raises(TypeError):
             NeighborhoodFlooding(DynamicDiGraph(3, [(0, 1)]))
+
+    def test_requires_undirected_array_backend(self):
+        with pytest.raises(TypeError):
+            NeighborhoodFlooding(as_backend(dgen.directed_cycle(6), "array"))
+
+    def test_accepts_array_graph(self):
+        graph = as_backend(gen.path_graph(17), "array")
+        proc = NeighborhoodFlooding(graph, rng=0)
+        result = proc.run_to_convergence()
+        assert result.converged
+        assert graph.is_complete()
+        assert result.rounds <= 6
+
+    def test_packed_round_accounting_matches_reference(self):
+        """One packed round reports the same messages/bits/added-edge set as
+        the reference triple loop on the same starting graph."""
+        base = gen.make_family("erdos_renyi", 24, np.random.default_rng(5))
+        ref = NeighborhoodFlooding(base.copy(), rng=0).step()
+        fast = NeighborhoodFlooding(as_backend(base.copy(), "array"), rng=0).step()
+        assert fast.messages_sent == ref.messages_sent
+        assert fast.bits_sent == ref.bits_sent
+        canon = lambda edges: {tuple(sorted((int(u), int(v)))) for u, v in edges}
+        assert canon(fast.added_edges) == canon(ref.added_edges)
+
+    def test_packed_round_skips_proposal_materialisation(self):
+        """The packed round never builds the Θ(n·m) proposal list (documented
+        contract: accounting and added_edges are exact, proposals stay empty)."""
+        proc = NeighborhoodFlooding(as_backend(gen.cycle_graph(12), "array"), rng=0)
+        result = proc.step()
+        assert result.num_added > 0
+        assert result.proposed_edges == []
 
     def test_converges_in_log_diameter_rounds(self):
         g = gen.path_graph(17)  # diameter 16

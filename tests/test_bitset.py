@@ -122,6 +122,54 @@ class TestBitOps:
         )
 
     @FAST
+    @given(bool_matrices(max_rows=8, max_bits=100), st.integers(0, 2**31 - 1))
+    def test_rows_or_into_matches_reference(self, mat, seed):
+        """Scatter row-union delivery ≡ per-delivery ``|=`` on the bool matrix,
+        including duplicate destinations and the chunked gather path."""
+        rows, n_bits = mat.shape
+        if rows == 0 or n_bits == 0:
+            return
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 30))
+        dst = rng.integers(0, rows, size=k)
+        src = rng.integers(0, rows, size=k)
+        packed = bitset.pack_bool_matrix(mat)
+        bitset.rows_or_into(packed, dst, bitset.pack_bool_matrix(mat), src, chunk=3)
+        ref = mat.copy()
+        for d, s in zip(dst.tolist(), src.tolist()):
+            ref[d] |= mat[s]
+        assert np.array_equal(bitset.unpack_bool_matrix(packed, n_bits), ref)
+        # payload-row form (one pre-gathered row per delivery)
+        packed2 = bitset.pack_bool_matrix(mat)
+        bitset.rows_or_into(packed2, dst, bitset.pack_bool_matrix(mat[src]), chunk=7)
+        assert np.array_equal(bitset.unpack_bool_matrix(packed2, n_bits), ref)
+
+    def test_rows_or_into_rejects_misaligned_payloads(self):
+        bits = bitset.zeros(4, 10)
+        with pytest.raises(ValueError):
+            bitset.rows_or_into(bits, np.array([0, 1]), bitset.zeros(3, 10))
+        with pytest.raises(ValueError):
+            bitset.rows_or_into(bits, np.array([0, 1]), bits, np.array([0]))
+
+    @FAST
+    @given(bool_matrices(max_rows=8, max_bits=100), st.integers(0, 2**31 - 1))
+    def test_delta_edges_matches_reference(self, mat, seed):
+        rows, n_bits = mat.shape
+        if rows == 0 or n_bits == 0 or rows != n_bits:
+            return
+        rng = np.random.default_rng(seed)
+        grown = mat | (rng.random(mat.shape) < 0.3)
+        old = bitset.pack_bool_matrix(mat)
+        new = bitset.pack_bool_matrix(grown)
+        us, vs = bitset.delta_edges(old, new, n_bits, directed=True)
+        ref_us, ref_vs = np.nonzero(grown & ~mat)
+        assert np.array_equal(us, ref_us) and np.array_equal(vs, ref_vs)
+        uu, vu = bitset.delta_edges(old, new, n_bits, directed=False)
+        ref_uu, ref_vu = np.nonzero(np.triu(grown & ~mat))
+        assert np.array_equal(uu, ref_uu) and np.array_equal(vu, ref_vu)
+        assert bool((uu <= vu).all())
+
+    @FAST
     @given(bool_matrices(max_rows=7, max_bits=80))
     def test_indices_and_transpose(self, mat):
         rows, n_bits = mat.shape

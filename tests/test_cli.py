@@ -34,6 +34,24 @@ class TestCommands:
         assert "power-law fit" in out
         assert "theorem-shape fit" in out
 
+    def test_run_baseline_on_array_backend(self, capsys):
+        """End-to-end: a baseline rides the CLI's --backend array plumbing, and
+        the seeded summary matches the list backend exactly."""
+        outputs = {}
+        for backend in ("list", "array"):
+            assert cli.main(["run", "--process", "name_dropper", "--family", "cycle",
+                             "--n", "16", "--trials", "2", "--seed", "5",
+                             "--backend", backend]) == 0
+            outputs[backend] = capsys.readouterr().out
+            assert "rounds_mean" in outputs[backend]
+        assert outputs["list"] == outputs["array"]
+
+    def test_run_flooding_on_array_backend(self, capsys):
+        assert cli.main(["run", "--process", "flooding", "--family", "cycle",
+                         "--n", "16", "--trials", "1", "--seed", "5",
+                         "--backend", "array"]) == 0
+        assert "rounds_mean" in capsys.readouterr().out
+
     def test_nonmonotone_command(self, capsys):
         assert cli.main(["nonmonotone", "--trials", "50", "--seed", "3"]) == 0
         out = capsys.readouterr().out
