@@ -31,7 +31,12 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.baselines._packed import concat_rows, packed_rows, require_undirected
+from repro.baselines._packed import (
+    active_nodes_array,
+    concat_rows,
+    packed_rows,
+    require_undirected,
+)
 from repro.core.base import DiscoveryProcess, RoundResult, UpdateSemantics
 from repro.graphs import bitset
 from repro.graphs.array_adjacency import as_backend
@@ -60,27 +65,32 @@ class NeighborhoodFlooding(DiscoveryProcess):
         raise NotImplementedError("NeighborhoodFlooding overrides step() and never calls propose()")
 
     def step(self) -> RoundResult:
-        """One synchronous flooding round."""
+        """One synchronous flooding round restricted to the participating nodes."""
         result = RoundResult(round_index=self.round_index)
+        active = active_nodes_array(self)
         packed = packed_rows(self.graph)
         if packed is not None:
-            self._packed_round(result, *packed)
+            self._packed_round(result, active, *packed)
         else:
-            self._reference_round(result)
+            self._reference_round(result, active)
         self.round_index += 1
         self.total_edges_added += result.num_added
         self.total_messages += result.messages_sent
         self.total_bits += result.bits_sent
         return result
 
-    def _reference_round(self, result: RoundResult) -> None:
-        """Per-node reference round: snapshot all knowledge, deliver payload by payload."""
+    def _reference_round(self, result: RoundResult, active: np.ndarray) -> None:
+        """Per-node reference round: snapshot all knowledge, deliver payload by payload.
+
+        Only the participating nodes *send* this round; everybody can still
+        receive (passive nodes are listeners, as in the scheduler model).
+        """
         graph = self.graph
-        knowledge: List[List[int]] = [list(graph.neighbors(u)) + [u] for u in graph.nodes()]
-        recipients: List[List[int]] = [list(graph.neighbors(u)) for u in graph.nodes()]
-        for u in graph.nodes():
-            payload = knowledge[u]
-            for v in recipients[u]:
+        senders = [int(u) for u in active]
+        knowledge: List[List[int]] = [list(graph.neighbors(u)) + [u] for u in senders]
+        recipients: List[List[int]] = [list(graph.neighbors(u)) for u in senders]
+        for payload, targets in zip(knowledge, recipients):
+            for v in targets:
                 result.messages_sent += 1
                 result.bits_sent += len(payload) * self._id_bits
                 for w in payload:
@@ -92,29 +102,37 @@ class NeighborhoodFlooding(DiscoveryProcess):
         self._note_added_edges(result.added_edges)
 
     def _packed_round(
-        self, result: RoundResult, rows: np.ndarray, deg: np.ndarray, bits: np.ndarray
+        self,
+        result: RoundResult,
+        active: np.ndarray,
+        rows: np.ndarray,
+        deg: np.ndarray,
+        bits: np.ndarray,
     ) -> None:
         """One pass of row unions on the packed membership rows.
 
-        Every node ``v`` receives the round-start row of each neighbour
-        ``u``; a sender's own ID bit is already present in the recipient's
-        row, so the neighbour-row union *is* the whole merge.  The scatter
-        runs over the flattened neighbour block (one row-OR per delivered
-        message) and the new edges are the popcount delta between the old
-        and unioned rows.
+        Each participating sender ``u`` delivers its round-start row to
+        every neighbour ``v``; a sender's own ID bit is already present in
+        the recipient's row, so the neighbour-row union *is* the whole
+        merge.  The scatter runs over the flattened neighbour block of the
+        active senders (one row-OR per delivered message) and the new edges
+        are the popcount delta between the old and unioned rows.  New bits
+        always arrive in symmetric pairs (both endpoints of a new edge are
+        recipients of the same sender), so the undirected delta extraction
+        is exact.
         """
         graph = self.graph
         n = graph.n
-        receivers = np.flatnonzero(deg > 0)
-        counts = deg[receivers]
-        # Each node sends its (deg+1)-ID knowledge set to every neighbour.
+        senders = active[deg[active] > 0]
+        counts = deg[senders]
+        # Each active node sends its (deg+1)-ID knowledge set to every neighbour.
         result.messages_sent = int(counts.sum())
         result.bits_sent = int((counts * (counts + 1)).sum()) * self._id_bits
-        if receivers.size == 0:
+        if senders.size == 0:
             return
-        senders = concat_rows(rows, deg, receivers)
+        recipients = concat_rows(rows, deg, senders)
         merged = bits.copy()
-        bitset.rows_or_into(merged, np.repeat(receivers, counts), bits, senders)
+        bitset.rows_or_into(merged, recipients, bits, np.repeat(senders, counts))
         nodes = np.arange(n, dtype=np.int64)
         bitset.clear_bits(merged, nodes, nodes)  # no self-knowledge edges
         us, vs = bitset.delta_edges(bits, merged, n)

@@ -34,7 +34,12 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.baselines._packed import packed_rows, require_undirected, rows_with_self
+from repro.baselines._packed import (
+    active_nodes_array,
+    packed_rows,
+    require_undirected,
+    rows_with_self,
+)
 from repro.core.base import BatchProposals, DiscoveryProcess, RoundResult, UpdateSemantics
 from repro.graphs.array_adjacency import as_backend
 
@@ -72,22 +77,23 @@ class NameDropper(DiscoveryProcess):
     def step(self) -> RoundResult:
         """One Name Dropper round under the configured update semantics."""
         result = RoundResult(round_index=self.round_index)
+        active = active_nodes_array(self)
         if self.semantics is UpdateSemantics.SEQUENTIAL:
-            self._sequential_round(result)
+            self._sequential_round(result, active)
         else:
             packed = packed_rows(self.graph)
             if packed is not None:
-                self._packed_round(result, *packed)
+                self._packed_round(result, active, *packed)
             else:
-                self._reference_round(result)
+                self._reference_round(result, active)
         self.round_index += 1
         self.total_edges_added += result.num_added
         self.total_messages += result.messages_sent
         self.total_bits += result.bits_sent
         return result
 
-    def _sequential_round(self, result: RoundResult) -> None:
-        """Sequential ablation: nodes act in index order on the evolving graph.
+    def _sequential_round(self, result: RoundResult, active: np.ndarray) -> None:
+        """Sequential ablation: participating nodes act in order on the evolving graph.
 
         Each active node draws exactly one ``rng.integers`` for its target
         — the stream the trace contract pins.  (An earlier version
@@ -95,7 +101,7 @@ class NameDropper(DiscoveryProcess):
         per node; fixing that legitimately changed the sequential stream
         and the goldens were regenerated.)
         """
-        for u in self.graph.nodes():
+        for u in active.tolist():
             nbrs = self.graph.neighbors(u)
             if len(nbrs) == 0:
                 continue
@@ -104,15 +110,19 @@ class NameDropper(DiscoveryProcess):
             self._apply_action(u, v, payload, result)
         self._note_added_edges(result.added_edges)
 
-    def _reference_round(self, result: RoundResult) -> None:
-        """Synchronous reference round: per-node payload loop, bulk target draw."""
+    def _reference_round(self, result: RoundResult, active: np.ndarray) -> None:
+        """Synchronous reference round: per-node payload loop, bulk target draw.
+
+        One uniform per *participating* node — the packed round consumes the
+        identical stream, so subset schedules stay trace-equivalent across
+        backends.
+        """
         graph = self.graph
-        nodes = np.arange(graph.n, dtype=np.int64)
-        targets = graph.random_neighbors(nodes, self.rng)
+        targets = graph.random_neighbors(active, self.rng)
         # Snapshot every payload against the round-start graph first.
         actions: List[Tuple[int, int, List[int]]] = []
-        for u in range(graph.n):
-            v = int(targets[u])
+        for k, u in enumerate(active.tolist()):
+            v = int(targets[k])
             if v < 0:
                 continue
             actions.append((u, v, list(graph.neighbors(u)) + [u]))
@@ -121,28 +131,33 @@ class NameDropper(DiscoveryProcess):
         self._note_added_edges(result.added_edges)
 
     def _packed_round(
-        self, result: RoundResult, rows: np.ndarray, deg: np.ndarray, bits: np.ndarray
+        self,
+        result: RoundResult,
+        active: np.ndarray,
+        rows: np.ndarray,
+        deg: np.ndarray,
+        bits: np.ndarray,
     ) -> None:
         """Synchronous packed round on the array backend.
 
         Same bulk target draw as the reference round, then the whole
-        round's payloads — each sender's neighbour row plus itself — are
-        expanded in one gather and delivered through the graph's batched
+        round's payloads — each active sender's neighbour row plus itself —
+        are expanded in one gather and delivered through the graph's batched
         row-union insert, preserving the reference path's first-occurrence
         edge order exactly (so neighbour rows, and hence future draws,
         stay aligned across backends).
         """
         graph = self.graph
-        nodes = np.arange(graph.n, dtype=np.int64)
-        targets = graph.random_neighbors(nodes, self.rng)
-        senders = np.flatnonzero(targets >= 0)
+        targets = graph.random_neighbors(active, self.rng)
+        valid = targets >= 0
+        senders = active[valid]
         result.messages_sent = int(senders.size)
         counts = deg[senders]
         result.bits_sent = int((counts + 1).sum()) * self._id_bits
         if senders.size == 0:
             return
         payload = rows_with_self(rows, deg, senders)
-        recipients = np.repeat(targets[senders], counts + 1)
+        recipients = np.repeat(targets[valid], counts + 1)
         keep = recipients != payload
         recipients, payload = recipients[keep], payload[keep]
         result.attach_batch(

@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.baselines._packed import concat_rows, packed_rows
+from repro.baselines._packed import active_nodes_array, concat_rows, packed_rows
 from repro.core.base import BatchProposals, DiscoveryProcess, RoundResult, UpdateSemantics
 from repro.graphs.array_adjacency import as_backend
 from repro.graphs.closure import transitive_closure_edges
@@ -81,14 +81,15 @@ class RandomPointerJump(DiscoveryProcess):
     def step(self) -> RoundResult:
         """One Random Pointer Jump round under the configured update semantics."""
         result = RoundResult(round_index=self.round_index)
+        active = active_nodes_array(self)
         if self.semantics is UpdateSemantics.SEQUENTIAL:
-            self._sequential_round(result)
+            self._sequential_round(result, active)
         else:
             packed = packed_rows(self.graph)
             if packed is not None:
-                self._packed_round(result, *packed)
+                self._packed_round(result, active, *packed)
             else:
-                self._reference_round(result)
+                self._reference_round(result, active)
         self.round_index += 1
         self.total_edges_added += result.num_added
         self.total_messages += result.messages_sent
@@ -102,23 +103,26 @@ class RandomPointerJump(DiscoveryProcess):
             return None
         return nbrs[int(self.rng.integers(len(nbrs)))]
 
-    def _sequential_round(self, result: RoundResult) -> None:
-        """Sequential ablation: nodes act in index order on the evolving graph."""
-        for u in self.graph.nodes():
+    def _sequential_round(self, result: RoundResult, active: np.ndarray) -> None:
+        """Sequential ablation: participating nodes act in order on the evolving graph."""
+        for u in active.tolist():
             v = self._scalar_target(u)
             if v is None:
                 continue
             self._apply_action(u, self._neighbors(v), result)
         self._note_added_edges(result.added_edges)
 
-    def _reference_round(self, result: RoundResult) -> None:
-        """Synchronous reference round: snapshot payloads, then apply in node order."""
+    def _reference_round(self, result: RoundResult, active: np.ndarray) -> None:
+        """Synchronous reference round: snapshot payloads, then apply in node order.
+
+        One uniform per *participating* node, matching the packed round's
+        draw stream for any activation schedule.
+        """
         graph = self.graph
-        nodes = np.arange(graph.n, dtype=np.int64)
-        targets = self._bulk_targets(nodes)
+        targets = self._bulk_targets(active)
         actions: List[Tuple[int, List[int]]] = []
-        for u in range(graph.n):
-            v = int(targets[u])
+        for k, u in enumerate(active.tolist()):
+            v = int(targets[k])
             if v < 0:
                 continue
             actions.append((u, self._neighbors(v)))
@@ -127,21 +131,26 @@ class RandomPointerJump(DiscoveryProcess):
         self._note_added_edges(result.added_edges)
 
     def _packed_round(
-        self, result: RoundResult, rows: np.ndarray, deg: np.ndarray, bits: np.ndarray
+        self,
+        result: RoundResult,
+        active: np.ndarray,
+        rows: np.ndarray,
+        deg: np.ndarray,
+        bits: np.ndarray,
     ) -> None:
         """Synchronous packed round: gather every pulled row in one expansion.
 
         The pulled payloads are the chosen neighbours' padded rows,
-        flattened in node order, so the batched insert reproduces the
-        reference path's first-occurrence edge order exactly and neighbour
-        rows stay aligned across backends.
+        flattened in participating-node order, so the batched insert
+        reproduces the reference path's first-occurrence edge order exactly
+        and neighbour rows stay aligned across backends.
         """
         graph = self.graph
-        nodes = np.arange(graph.n, dtype=np.int64)
-        targets = self._bulk_targets(nodes)
-        pullers = np.flatnonzero(targets >= 0)
+        targets = self._bulk_targets(active)
+        valid = targets >= 0
+        pullers = active[valid]
         result.messages_sent = 2 * int(pullers.size)  # request + bulk reply each
-        chosen = targets[pullers]
+        chosen = targets[valid]
         counts = deg[chosen]
         result.bits_sent = int((1 + counts).sum()) * self._id_bits
         if pullers.size == 0:

@@ -77,6 +77,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trials=args.trials,
         directed=args.directed,
         backend=args.backend,
+        shards=args.shards,
     )
     trials = run_trials(spec, root_seed=args.seed)
     summary = summarize_trials(trials)
@@ -97,6 +98,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         directed=args.directed,
         poly_exponent=args.poly_exponent,
         backend=args.backend,
+        shards=args.shards,
     )
     _print_table(measurement.as_rows())
     _save_rows(measurement.as_rows(), args)
@@ -202,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="graph backend: list (default) or the vectorized array fast path "
         "(supported by every process, baselines included)",
     )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="row-shard count for the round engine (>1 requires --backend array "
+        "and a shardable process: push, pull or flooding)",
+    )
     p_run.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_run.set_defaults(func=_cmd_run)
 
@@ -219,6 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="list",
         help="graph backend: list (default) or the vectorized array fast path "
         "(supported by every process, baselines included)",
+    )
+    p_scaling.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="row-shard count for the round engine (>1 requires --backend array "
+        "and a shardable process: push, pull or flooding)",
     )
     p_scaling.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_scaling.set_defaults(func=_cmd_scaling)

@@ -10,9 +10,12 @@ from repro.simulation.engine import (
 )
 from repro.simulation.experiment import ExperimentSpec, SweepSpec
 from repro.simulation.runner import TrialResult, run_trials, run_sweep, summarize_trials
+from repro.simulation.sharding import ShardPlan, ShardedProcess
 from repro.simulation import stats, bounds, io, plotting
 
 __all__ = [
+    "ShardPlan",
+    "ShardedProcess",
     "io",
     "plotting",
     "SeedSequenceFactory",

@@ -23,7 +23,7 @@ from repro.core.pull import PullDiscovery
 from repro.core.push import PushDiscovery
 from repro.core.variants import FaultyPullDiscovery, FaultyPushDiscovery
 from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
-from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph, as_backend
+from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph, as_backend, backend_name
 
 __all__ = [
     "PROCESS_REGISTRY",
@@ -67,6 +67,9 @@ def make_process(
     rng: Union[np.random.Generator, int, None] = None,
     semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
     backend: Optional[str] = None,
+    shards: int = 1,
+    shard_seed: Union[int, np.random.SeedSequence, None] = None,
+    shard_parallel: Optional[bool] = None,
     **kwargs,
 ) -> DiscoveryProcess:
     """Build a process by registry name over ``graph``.
@@ -75,6 +78,16 @@ def make_process(
     or ``"array"`` (the vectorized fast path — supported by every
     registered process, baselines included; see
     :data:`ARRAY_BACKEND_PROCESSES`).  The graph is converted as needed.
+
+    ``shards > 1`` wraps the process in
+    :class:`repro.simulation.sharding.ShardedProcess`, which runs each
+    round's propose phase over contiguous row shards and OR-merges the
+    packed deltas (requires ``backend="array"`` and a shardable process —
+    push, pull or flooding).  ``shard_seed`` feeds the per-round shard
+    streams (e.g. the trial's ``SeedSequence``); ``shard_parallel``
+    selects the process-pool path (``None`` = auto by size).  ``shards=1``
+    returns the plain process — draw-for-draw identical to not passing
+    ``shards`` at all.
 
     Raises ``KeyError`` for unknown names and ``TypeError`` when the graph
     kind does not match the process (e.g. an undirected graph passed to
@@ -91,6 +104,8 @@ def make_process(
         # pointer_jump accepts both kinds; all other undirected processes do not.
         if name != "pointer_jump":
             raise TypeError(f"process {name!r} requires an undirected graph")
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
     if backend is not None:
         if backend == "array" and name not in ARRAY_BACKEND_PROCESSES:
             raise ValueError(
@@ -98,7 +113,18 @@ def make_process(
                 f"array-capable: {sorted(ARRAY_BACKEND_PROCESSES)}"
             )
         graph = as_backend(graph, backend)
-    return ctor(graph, rng=rng, semantics=semantics, **kwargs)
+    process = ctor(graph, rng=rng, semantics=semantics, **kwargs)
+    if shards > 1:
+        if backend_name(process.graph) != "array":
+            raise ValueError(
+                f"shards={shards} requires backend='array' (the sharded engine "
+                "partitions the packed membership rows)"
+            )
+        # Imported here: sharding sits one layer above the engine registry.
+        from repro.simulation.sharding import ShardedProcess
+
+        return ShardedProcess(process, shards=shards, seed=shard_seed, parallel=shard_parallel)
+    return process
 
 
 def run_process(
@@ -121,6 +147,9 @@ def measure_convergence_rounds(
     semantics: UpdateSemantics = UpdateSemantics.SYNCHRONOUS,
     copy_graph: bool = True,
     backend: Optional[str] = None,
+    shards: int = 1,
+    shard_seed: Union[int, np.random.SeedSequence, None] = None,
+    shard_parallel: Optional[bool] = None,
     **kwargs,
 ) -> RunResult:
     """Build the named process over (a copy of) ``graph`` and run it to convergence.
@@ -128,10 +157,25 @@ def measure_convergence_rounds(
     This is the workhorse of every scaling experiment: one call, one
     :class:`RunResult` whose ``rounds`` field is the convergence time.
     ``backend="array"`` routes the run through the vectorized fast path;
-    the seeded result is identical to the list backend's.
+    the seeded result is identical to the list backend's.  ``shards > 1``
+    additionally routes each round through the sharded engine (see
+    :func:`make_process`).
     """
     work_graph = graph.copy() if copy_graph else graph
     process = make_process(
-        name, work_graph, rng=rng, semantics=semantics, backend=backend, **kwargs
+        name,
+        work_graph,
+        rng=rng,
+        semantics=semantics,
+        backend=backend,
+        shards=shards,
+        shard_seed=shard_seed,
+        shard_parallel=shard_parallel,
+        **kwargs,
     )
-    return run_process(process, max_rounds=max_rounds)
+    try:
+        return run_process(process, max_rounds=max_rounds)
+    finally:
+        close = getattr(process, "close", None)
+        if close is not None:
+            close()

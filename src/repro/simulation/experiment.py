@@ -53,6 +53,14 @@ class ExperimentSpec:
         (the vectorized fast path; identical seeded results).  Every
         registered process supports both — the baselines included, since
         their payload rounds run on the packed bitset substrate.
+    shards:
+        Row-shard count for the round engine (default 1 = unsharded).
+        ``shards > 1`` requires ``backend="array"`` and a shardable
+        process; each trial's shard streams are spawned from the trial's
+        own ``SeedSequence`` (see :mod:`repro.simulation.sharding`).
+    shard_parallel:
+        ``True``/``False`` force the process-pool / in-process sharded
+        path; ``None`` (default) selects by graph size.
     label:
         Free-form tag used in result tables.
     """
@@ -66,6 +74,8 @@ class ExperimentSpec:
     process_kwargs: Dict[str, Any] = field(default_factory=dict, compare=False)
     max_rounds: Optional[int] = None
     backend: str = "list"
+    shards: int = 1
+    shard_parallel: Optional[bool] = field(default=None, compare=False)
     label: str = ""
 
     def build_graph(
@@ -82,7 +92,8 @@ class ExperimentSpec:
         """Short human-readable description for logs and tables."""
         tag = f" [{self.label}]" if self.label else ""
         fast = f" backend={self.backend}" if self.backend != "list" else ""
-        return f"{self.process} on {self.family}(n={self.n}) x{self.trials}{fast}{tag}"
+        sharded = f" shards={self.shards}" if self.shards != 1 else ""
+        return f"{self.process} on {self.family}(n={self.n}) x{self.trials}{fast}{sharded}{tag}"
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,7 @@ class SweepSpec:
     process_kwargs: Dict[str, Any] = field(default_factory=dict, compare=False)
     max_rounds: Optional[int] = None
     backend: str = "list"
+    shards: int = 1
     label: str = ""
 
     def expand(self) -> List[ExperimentSpec]:
@@ -115,6 +127,7 @@ class SweepSpec:
                             process_kwargs=dict(self.process_kwargs),
                             max_rounds=self.max_rounds,
                             backend=self.backend,
+                            shards=self.shards,
                             label=self.label,
                         )
                     )

@@ -48,6 +48,19 @@ class SeedSequenceFactory:
         self._spawned += 1
         return np.random.default_rng(child)
 
+    def seed_for_index(self, index: int) -> np.random.SeedSequence:
+        """The child :class:`~numpy.random.SeedSequence` for trial ``index``.
+
+        The trial's generator is built from this child; further streams a
+        trial needs (e.g. the sharded round engine's per-round shard
+        streams) are spawned from the same child, so they stay independent
+        of the trial's own draw stream *and* reproducible from the root.
+        """
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        root = np.random.SeedSequence(self.root_seed)
+        return root.spawn(index + 1)[index]
+
     def rng_for_index(self, index: int) -> np.random.Generator:
         """Return the generator deterministically associated with ``index``.
 
@@ -55,10 +68,7 @@ class SeedSequenceFactory:
         for index ``i`` is always spawned from the root sequence's child
         ``i``.
         """
-        if index < 0:
-            raise ValueError("index must be non-negative")
-        root = np.random.SeedSequence(self.root_seed)
-        return np.random.default_rng(root.spawn(index + 1)[index])
+        return np.random.default_rng(self.seed_for_index(index))
 
     @property
     def spawned(self) -> int:

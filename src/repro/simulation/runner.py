@@ -40,8 +40,13 @@ def _run_single_trial(args: Tuple[ExperimentSpec, int, Optional[int]]) -> TrialR
     """Module-level worker so it can cross a multiprocessing boundary."""
     spec, trial_index, root_seed = args
     factory = SeedSequenceFactory(root_seed)
-    rng = factory.rng_for_index(trial_index)
+    trial_seed = factory.seed_for_index(trial_index)
+    rng = np.random.default_rng(trial_seed)
     graph = spec.build_graph(rng)
+    # The sharded engine's per-round shard streams are spawned from the
+    # trial's own SeedSequence (spawning does not perturb ``rng``'s stream,
+    # so shards=1 trials are byte-identical to pre-sharding runs).
+    shard_seed = trial_seed.spawn(1)[0] if spec.shards > 1 else None
     result = measure_convergence_rounds(
         spec.process,
         graph,
@@ -49,6 +54,9 @@ def _run_single_trial(args: Tuple[ExperimentSpec, int, Optional[int]]) -> TrialR
         max_rounds=spec.max_rounds,
         copy_graph=False,
         backend=spec.backend,
+        shards=spec.shards,
+        shard_seed=shard_seed,
+        shard_parallel=spec.shard_parallel,
         **spec.process_kwargs,
     )
     return TrialResult(

@@ -1,0 +1,599 @@
+"""Sharded round execution over row-partitioned packed membership rows.
+
+The array backend executes a whole round as bulk NumPy work; this module
+splits that work across **contiguous node-row shards** so large-``n``
+sweeps can use several cores.  The design is the row-partitioned fan-out
+of the PRAM/MPC round-compression literature, specialised to the packed
+bitset substrate:
+
+1. **Partition.**  :class:`ShardPlan` cuts the node rows ``0 .. n-1`` into
+   ``k`` contiguous, near-equal ranges.  A shard owns the *proposals* (or,
+   for flooding, the *received deliveries*) of its rows; the round-start
+   graph state is shared read-only by every shard.
+2. **Propose per shard.**  Each shard runs its propose phase
+   independently: one bulk draw per shard (see the RNG convention below)
+   plus the same index math as the unsharded vectorized kernels, over the
+   shared padded neighbour rows and packed membership rows.
+3. **OR-merge.**  Shards report packed membership deltas — proposal
+   endpoint arrays for the gossip processes, a packed block of delta rows
+   for flooding — which the coordinator accumulates in a
+   :class:`repro.graphs.bitset.DeltaRows` (``or_into_range`` for row
+   blocks).  New edges are extracted in canonical row-major order and
+   applied through the graph's batched insert, so the application order
+   never depends on the shard count.
+
+Execution is in-process by default; for large ``n`` (or on request) the
+shards run on a :class:`concurrent.futures.ProcessPoolExecutor`, with the
+round-start arrays (neighbour rows, degrees, packed membership) published
+through :mod:`multiprocessing.shared_memory` so workers never pickle the
+O(n²) state.
+
+Per-shard RNG convention (the trace contract)
+---------------------------------------------
+``shards=1`` never enters this module's round path: it delegates straight
+to the wrapped process, so it is draw-for-draw identical to the unsharded
+array backend (the golden traces pass unmodified).
+
+For ``shards >= 2`` every round derives one child stream from the trial's
+:class:`numpy.random.SeedSequence` — ``SeedSequence(entropy,
+spawn_key=(round_index,))`` — and each shard instantiates its own copy of
+that child generator, draws the round's full logical ``(stages, n)``
+uniform array, and consumes the row slice it owns.  Redrawing the whole
+array per shard costs O(n) (trivial next to the shard's row-union work)
+and buys the two properties the tests pin:
+
+* **determinism** — a fixed ``(seed, shard count)`` always produces the
+  same trajectory, regardless of worker scheduling;
+* **shard-count invariance** — the per-node uniforms do not depend on
+  where the shard boundaries fall, so for push/pull (and trivially for
+  the deterministic flooding) the edge trajectory is *identical* for any
+  ``shards >= 2``.
+
+The sharded stream is intentionally distinct from the unsharded one
+(which consumes the process's own generator sequentially); sharding is a
+scaling mode, not a replay mode, and the contract is the three-way one
+above, exactly as pinned by ``tests/test_sharding.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.baselines._packed import concat_rows
+from repro.baselines.flooding import NeighborhoodFlooding
+from repro.core.base import BatchProposals, DiscoveryProcess, RoundResult
+from repro.core.base import UpdateSemantics
+from repro.core.pull import PullDiscovery
+from repro.core.push import PushDiscovery
+from repro.graphs import bitset
+from repro.graphs.array_adjacency import backend_name
+from repro.graphs.sampling import masked_counts, uniform_indices
+
+__all__ = [
+    "ShardPlan",
+    "ShardedProcess",
+    "SHARDABLE_PROCESSES",
+    "DEFAULT_PARALLEL_THRESHOLD",
+]
+
+#: process classes with a registered sharded propose kernel (exact types —
+#: subclasses may customise ``propose`` and must opt in explicitly).
+SHARDABLE_PROCESSES: Dict[type, str] = {
+    PushDiscovery: "push",
+    PullDiscovery: "pull",
+    NeighborhoodFlooding: "flooding",
+}
+
+#: below this n the per-round process-pool round-trip costs more than the
+#: round itself; the auto mode stays in-process.
+DEFAULT_PARALLEL_THRESHOLD = 2048
+
+#: uniform stages per round for the RNG-driven kernels (two hops / two endpoints).
+_STAGES = 2
+
+
+class ShardPlan:
+    """Contiguous near-equal partition of the node rows ``0 .. n-1``.
+
+    ``shards`` is clamped to ``n`` (a shard must own at least one row);
+    the effective count is exposed as :attr:`shards`.
+    """
+
+    __slots__ = ("n", "shards", "bounds")
+
+    def __init__(self, n: int, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        self.n = int(n)
+        self.shards = max(1, min(int(shards), self.n)) if self.n else 1
+        edges = [(i * self.n) // self.shards for i in range(self.shards + 1)]
+        self.bounds: List[Tuple[int, int]] = list(zip(edges[:-1], edges[1:]))
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(n={self.n}, shards={self.shards})"
+
+
+# --------------------------------------------------------------------------- #
+# per-shard kernels (pure functions: shareable arrays in, fresh arrays out)
+# --------------------------------------------------------------------------- #
+def _gather(block: np.ndarray, rowsel: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """``block[rowsel[i], idx[i]]`` with ``-1`` passthrough for ``idx < 0``."""
+    gathered = block[rowsel, np.maximum(idx, 0)]
+    return np.where(idx >= 0, gathered, -1)
+
+
+def _push_shard(
+    nbr: np.ndarray,
+    deg: np.ndarray,
+    lo: int,
+    hi: int,
+    u1: np.ndarray,
+    u2: np.ndarray,
+    without_replacement: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Push proposals of rows ``[lo, hi)`` — the sliced form of the unsharded kernel."""
+    counts = deg[lo:hi]
+    block = nbr[lo:hi]
+    rowsel = np.arange(hi - lo, dtype=np.int64)
+    if without_replacement:
+        i = uniform_indices(u1, counts)
+        j = uniform_indices(u2, counts - 1)
+        j = np.where(j >= i, j + 1, j)
+        vs = _gather(block, rowsel, i)
+        ws = _gather(block, rowsel, np.where(counts >= 2, j, -1))
+        valid = counts >= 2
+    else:
+        vs = _gather(block, rowsel, uniform_indices(u1, counts))
+        ws = _gather(block, rowsel, uniform_indices(u2, counts))
+        valid = (vs >= 0) & (vs != ws)
+    pos = np.flatnonzero(valid)
+    return vs[pos], ws[pos], pos + lo
+
+
+def _pull_shard(
+    nbr: np.ndarray,
+    deg: np.ndarray,
+    lo: int,
+    hi: int,
+    u1: np.ndarray,
+    u2: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pull proposals of rows ``[lo, hi)``: both hops over the shared rows."""
+    nodes = np.arange(lo, hi, dtype=np.int64)
+    rowsel = np.arange(hi - lo, dtype=np.int64)
+    vs = _gather(nbr[lo:hi], rowsel, uniform_indices(u1, deg[lo:hi]))
+    safe, counts2 = masked_counts(vs, deg)
+    ws = _gather(nbr, safe, uniform_indices(u2, counts2))
+    valid = (vs >= 0) & (ws >= 0) & (ws != nodes)
+    pos = np.flatnonzero(valid)
+    return nodes[pos], ws[pos], pos + lo
+
+
+def _flooding_shard(
+    nbr: np.ndarray, deg: np.ndarray, bits: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Packed delta rows ``[lo, hi)`` of one flooding round (receiver-partitioned).
+
+    Row ``v`` of the result holds the bits ``v`` newly learns this round:
+    the OR of its neighbours' round-start rows, minus the diagonal and the
+    bits it already had.  Flooding has every node send, so partitioning by
+    receiver keeps each shard's output confined to its own row range.
+    """
+    merged = bits[lo:hi].copy()
+    local = np.flatnonzero(deg[lo:hi] > 0)
+    if local.size:
+        receivers = local + lo
+        senders = concat_rows(nbr, deg, receivers)
+        bitset.rows_or_into(merged, np.repeat(local, deg[receivers]), bits, senders)
+    rowsel = np.arange(hi - lo, dtype=np.int64)
+    bitset.clear_bits(merged, rowsel, rowsel + lo)
+    np.bitwise_and(merged, ~bits[lo:hi], out=merged)
+    return merged
+
+
+def _round_uniforms(entropy: int, round_index: int, n: int) -> np.ndarray:
+    """The round's full logical ``(stages, n)`` uniform array.
+
+    Every shard of a round derives the identical child stream —
+    ``SeedSequence(entropy, spawn_key=(round_index,))`` — so the per-node
+    uniforms are independent of the shard boundaries (the shard-count
+    invariance half of the trace contract).
+    """
+    ss = np.random.SeedSequence(entropy, spawn_key=(round_index,))
+    return np.random.default_rng(ss).random((_STAGES, n))
+
+
+# --------------------------------------------------------------------------- #
+# the multiprocess worker (module-level so it crosses a spawn boundary)
+# --------------------------------------------------------------------------- #
+def _attach(spec: Tuple[str, tuple, str], refs: list) -> np.ndarray:
+    """Map a ``(shm_name, shape, dtype)`` spec to a live array view."""
+    name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    refs.append(shm)
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _shard_task(payload: dict):
+    """Run one shard of one round against the shared round-start arrays.
+
+    Returns fresh (non-shared) arrays only, because the shared-memory
+    views are closed before the result is pickled back.
+    """
+    refs: list = []
+    try:
+        nbr = _attach(payload["nbr"], refs)
+        deg = _attach(payload["deg"], refs)
+        lo, hi = payload["lo"], payload["hi"]
+        kind = payload["kind"]
+        if kind == "flooding":
+            bits = _attach(payload["bits"], refs)
+            return _flooding_shard(nbr, deg, bits, lo, hi)
+        u = _round_uniforms(payload["entropy"], payload["round_index"], payload["n"])
+        if kind == "push":
+            return _push_shard(
+                nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi], payload["without_replacement"]
+            )
+        if kind == "pull":
+            return _pull_shard(nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi])
+        raise ValueError(f"unknown shard kind {kind!r}")
+    finally:
+        for shm in refs:
+            shm.close()
+
+
+class _SharedBlock:
+    """One shared-memory array slot, re-created when the source shape grows."""
+
+    __slots__ = ("shm", "shape", "dtype")
+
+    def __init__(self) -> None:
+        self.shm: Optional[shared_memory.SharedMemory] = None
+        self.shape: Optional[tuple] = None
+        self.dtype: Optional[np.dtype] = None
+
+    def publish(self, array: np.ndarray) -> Tuple[str, tuple, str]:
+        """Copy ``array`` into the slot; return the worker-side spec."""
+        if self.shm is None or self.shape != array.shape or self.dtype != array.dtype:
+            self.release()
+            self.shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+            self.shape = array.shape
+            self.dtype = array.dtype
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self.shm.buf)
+        np.copyto(view, array)
+        return self.shm.name, array.shape, array.dtype.str
+
+    def release(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self.shm = None
+
+
+class ShardedProcess:
+    """Run a supported process with its rounds executed shard by shard.
+
+    Parameters
+    ----------
+    process:
+        A :class:`~repro.core.push.PushDiscovery`,
+        :class:`~repro.core.pull.PullDiscovery` or
+        :class:`~repro.baselines.flooding.NeighborhoodFlooding` instance on
+        the **array backend** with synchronous semantics and default (full)
+        activation.  The wrapper mutates the process's graph and counters,
+        so the wrapped instance stays the single source of truth for
+        convergence and metrics.
+    shards:
+        Requested shard count (clamped to ``n``).  ``shards=1`` delegates
+        every ``step()`` straight to the process — draw-for-draw identical
+        to the unsharded array backend.
+    seed:
+        Entropy for the per-round shard streams: an ``int``, a
+        :class:`numpy.random.SeedSequence` (e.g. the trial's), or ``None``
+        to derive it deterministically from the process's own generator.
+        Ignored when ``shards=1``.
+    parallel:
+        ``True`` — run shards on a process pool over shared memory;
+        ``False`` — run shards in-process (still sharded semantics);
+        ``None`` — auto: use the pool when ``n >= parallel_threshold``.
+    parallel_threshold:
+        The auto-mode cutover size (default
+        :data:`DEFAULT_PARALLEL_THRESHOLD`).
+    """
+
+    def __init__(
+        self,
+        process: DiscoveryProcess,
+        shards: int,
+        seed: Union[int, np.random.SeedSequence, None] = None,
+        parallel: Optional[bool] = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    ) -> None:
+        kind = SHARDABLE_PROCESSES.get(type(process))
+        if kind is None:
+            supported = sorted(cls.__name__ for cls in SHARDABLE_PROCESSES)
+            raise ValueError(
+                f"{type(process).__name__} has no sharded round kernel; "
+                f"shardable processes: {supported}"
+            )
+        if backend_name(process.graph) != "array":
+            raise ValueError("sharded execution requires the array graph backend")
+        if process.semantics is not UpdateSemantics.SYNCHRONOUS:
+            raise ValueError("sharded execution requires synchronous semantics")
+        if "propose" in process.__dict__ or "participating_nodes" in process.__dict__:
+            raise ValueError(
+                "sharded execution assumes the process's default propose rule and "
+                "full activation; wrap with ScheduledProcess/ChurnModel instead of sharding"
+            )
+        self.process = process
+        self.kind = kind
+        self.plan = ShardPlan(process.graph.n, shards)
+        self.shards = self.plan.shards
+        if self.shards > 1:
+            if isinstance(seed, np.random.SeedSequence):
+                self._entropy = int(seed.generate_state(1, np.uint64)[0])
+            elif seed is not None:
+                self._entropy = int(seed)
+            else:
+                # Deterministic given the process's seed, and drawn exactly
+                # once regardless of the shard count (so it cannot break
+                # cross-shard-count equivalence).
+                self._entropy = int(process.rng.integers(np.iinfo(np.int64).max))
+        else:
+            self._entropy = 0
+        if parallel is None:
+            # Auto mode: pool only when the rounds are big enough to amortise
+            # the round-trip, and never from inside a daemonic worker (the
+            # trial runner's own fan-out), which may not spawn children.
+            parallel = (
+                self.shards > 1
+                and process.graph.n >= parallel_threshold
+                and not multiprocessing.current_process().daemon
+            )
+        self._parallel = bool(parallel) and self.shards > 1
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._blocks: Dict[str, _SharedBlock] = {}
+
+    # ------------------------------------------------------------------ #
+    # the sharded round
+    # ------------------------------------------------------------------ #
+    def step(self) -> RoundResult:
+        """Execute one round: propose per shard, OR-merge, apply once."""
+        if self.shards == 1:
+            return self.process.step()
+        shard_results = self._run_shards()
+        if self.kind == "flooding":
+            return self._merge_flooding(shard_results)
+        return self._merge_proposals(shard_results)
+
+    def _round_state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        graph = self.process.graph
+        nbr, deg = graph.neighbor_rows()
+        return nbr, deg, graph.adjacency_bits()
+
+    def _run_shards(self) -> List:
+        if self._parallel:
+            return self._run_shards_parallel()
+        nbr, deg, bits = self._round_state()
+        results = []
+        if self.kind == "flooding":
+            for lo, hi in self.plan.bounds:
+                results.append(_flooding_shard(nbr, deg, bits, lo, hi))
+            return results
+        # In-process mode draws the round's logical array once and hands
+        # each shard its slice — the same values every worker would draw.
+        u = _round_uniforms(self._entropy, self.process.round_index, self.plan.n)
+        for lo, hi in self.plan.bounds:
+            if self.kind == "push":
+                results.append(
+                    _push_shard(
+                        nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi],
+                        bool(getattr(self.process, "without_replacement", False)),
+                    )
+                )
+            else:
+                results.append(_pull_shard(nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi]))
+        return results
+
+    def _run_shards_parallel(self) -> List:
+        nbr, deg, bits = self._round_state()
+        base = {
+            "kind": self.kind,
+            "n": self.plan.n,
+            "entropy": self._entropy,
+            "round_index": self.process.round_index,
+            "nbr": self._publish("nbr", nbr),
+            "deg": self._publish("deg", deg),
+        }
+        if self.kind == "flooding":
+            base["bits"] = self._publish("bits", bits)
+        else:
+            base["without_replacement"] = bool(
+                getattr(self.process, "without_replacement", False)
+            )
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+        futures = [
+            self._pool.submit(_shard_task, {**base, "lo": lo, "hi": hi})
+            for lo, hi in self.plan.bounds
+        ]
+        return [f.result() for f in futures]
+
+    def _publish(self, key: str, array: np.ndarray) -> Tuple[str, tuple, str]:
+        block = self._blocks.setdefault(key, _SharedBlock())
+        return block.publish(np.ascontiguousarray(array))
+
+    def _merge_proposals(self, shard_results: Sequence[tuple]) -> RoundResult:
+        """Merge the shards' proposal endpoints and apply them once.
+
+        The sparse form of the delta-row OR-merge: a gossip round proposes
+        O(n) edges, so instead of accumulating an n×n delta matrix the
+        proposals are canonicalised, filtered against the packed membership
+        rows, and deduped by sorted key — which is exactly the canonical
+        row-major order :meth:`bitset.DeltaRows.new_edges` would report, so
+        the application order stays shard-count invariant.
+        """
+        process = self.process
+        graph = process.graph
+        n = graph.n
+        result = RoundResult(round_index=process.round_index)
+        us = np.concatenate([r[0] for r in shard_results])
+        vs = np.concatenate([r[1] for r in shard_results])
+        result.attach_batch(
+            BatchProposals(n, us, vs, np.concatenate([r[2] for r in shard_results]))
+        )
+        low = np.minimum(us, vs)
+        high = np.maximum(us, vs)
+        keep = low != high
+        low, high = low[keep], high[keep]
+        fresh = ~bitset.get_bits(graph.adjacency_bits(), low, high)
+        keys = np.unique(low[fresh] * np.int64(n) + high[fresh])
+        result.added_edges = graph.add_edges_batch_arrays(keys // n, keys % n)
+        result.messages_sent = process.MESSAGES_PER_NODE * n
+        result.bits_sent = result.messages_sent * process._id_bits
+        return self._finish_round(result)
+
+    def _merge_flooding(self, shard_results: Sequence[np.ndarray]) -> RoundResult:
+        """Row-range OR-merge of the shards' packed delta blocks."""
+        process = self.process
+        graph = process.graph
+        n = graph.n
+        result = RoundResult(round_index=process.round_index)
+        bits = graph.adjacency_bits()
+        delta = bitset.DeltaRows(n, n)
+        for (lo, _hi), block in zip(self.plan.bounds, shard_results):
+            delta.or_into_range(lo, block)
+        add_us, add_vs = delta.new_edges(bits, directed=False)
+        _, deg = graph.neighbor_rows()
+        result.messages_sent = int(deg.sum())
+        result.bits_sent = int((deg * (deg + 1)).sum()) * process._id_bits
+        result.added_edges = graph.add_edges_batch_arrays(add_us, add_vs)
+        return self._finish_round(result)
+
+    def _finish_round(self, result: RoundResult) -> RoundResult:
+        """Advance the wrapped process's counters exactly like its own step()."""
+        process = self.process
+        process._note_added_edges(result.added_edges)
+        process.round_index += 1
+        process.total_edges_added += result.num_added
+        process.total_messages += result.messages_sent
+        process.total_bits += result.bits_sent
+        return result
+
+    # ------------------------------------------------------------------ #
+    # the run loop (reuses the engine's, driven by our step())
+    # ------------------------------------------------------------------ #
+    run = DiscoveryProcess.run
+    run_to_convergence = DiscoveryProcess.run_to_convergence
+
+    def is_converged(self) -> bool:
+        """Delegate to the wrapped process."""
+        return self.process.is_converged()
+
+    def default_round_cap(self) -> int:
+        """Delegate to the wrapped process's cap (process-specific bounds)."""
+        return self.process.default_round_cap()
+
+    def degree_view(self):
+        """The wrapped process's incremental degree cache (for recorders)."""
+        return self.process.degree_view()
+
+    def cached_min_degree(self) -> int:
+        """The wrapped process's incremental minimum degree."""
+        return self.process.cached_min_degree()
+
+    # ------------------------------------------------------------------ #
+    # pass-through state (the wrapped process owns every counter)
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self):
+        """The wrapped process's graph."""
+        return self.process.graph
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The wrapped process's generator (unused by multi-shard rounds)."""
+        return self.process.rng
+
+    @property
+    def backend(self) -> str:
+        """The wrapped process's graph backend name (always ``"array"``)."""
+        return self.process.backend
+
+    @property
+    def semantics(self) -> UpdateSemantics:
+        """The wrapped process's update semantics."""
+        return self.process.semantics
+
+    @property
+    def round_index(self) -> int:
+        return self.process.round_index
+
+    @round_index.setter
+    def round_index(self, value: int) -> None:
+        self.process.round_index = value
+
+    @property
+    def total_edges_added(self) -> int:
+        return self.process.total_edges_added
+
+    @total_edges_added.setter
+    def total_edges_added(self, value: int) -> None:
+        self.process.total_edges_added = value
+
+    @property
+    def total_messages(self) -> int:
+        return self.process.total_messages
+
+    @total_messages.setter
+    def total_messages(self, value: int) -> None:
+        self.process.total_messages = value
+
+    @property
+    def total_bits(self) -> int:
+        return self.process.total_bits
+
+    @total_bits.setter
+    def total_bits(self, value: int) -> None:
+        self.process.total_bits = value
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker pool down and release the shared-memory blocks."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for block in self._blocks.values():
+            block.release()
+        self._blocks.clear()
+
+    def __enter__(self) -> "ShardedProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        mode = "process-pool" if self._parallel else "in-process"
+        return (
+            f"ShardedProcess({type(self.process).__name__}, n={self.process.graph.n}, "
+            f"shards={self.shards}, {mode})"
+        )

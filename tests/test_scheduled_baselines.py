@@ -1,0 +1,179 @@
+"""Activation schedules restrict *every* registered process on both backends.
+
+Regression suite for the scheduled-baseline bug: the baselines override
+``step()`` wholesale, and before this fix they never consulted
+``participating_nodes()``, so a ``ScheduledProcess`` subset run produced
+byte-identical edge sets to full activation.  The headline test here fails
+on the pre-fix code: a strict subset of active nodes must add strictly
+fewer edges than full activation for every registered process, on the
+list and the array backend alike.
+
+The second half pins cross-backend trace equivalence *under* schedules:
+a seeded subset schedule produces identical per-round edge sets on both
+backends (the subset bulk draw consumes one uniform per participating
+node on each).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import (
+    BernoulliActivation,
+    FixedSubsetActivation,
+    RoundRobinActivation,
+    ScheduledProcess,
+)
+from repro.graphs import directed_generators as dgen
+from repro.graphs import generators as gen
+from repro.simulation.engine import PROCESS_REGISTRY, make_process
+
+N = 16
+ROUNDS = 4
+SUBSET = [0, 1, 2]
+BACKENDS = ["list", "array"]
+
+
+def _base_graph(name: str):
+    """A connected starting graph of the kind the process requires."""
+    _, needs_directed = PROCESS_REGISTRY[name]
+    if needs_directed or name == "pointer_jump_directed":
+        return dgen.random_strongly_connected_digraph(N, rng=np.random.default_rng(42))
+    return gen.cycle_graph(N)
+
+
+def _edges_after(name: str, backend: str, schedule) -> int:
+    process = make_process(name, _base_graph(name).copy(), rng=11, backend=backend)
+    if schedule is not None:
+        process = ScheduledProcess(process, schedule)
+    for _ in range(ROUNDS):
+        process.step()
+    return process.total_edges_added
+
+
+class TestSubsetRestrictsEveryProcess:
+    """The headline regression: subset runs add strictly fewer edges."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(PROCESS_REGISTRY))
+    def test_subset_adds_strictly_fewer_edges(self, name, backend):
+        full = _edges_after(name, backend, None)
+        subset = _edges_after(name, backend, FixedSubsetActivation(SUBSET))
+        assert full > 0, f"{name} added nothing under full activation"
+        assert subset < full, (
+            f"{name} on {backend}: subset activation added {subset} edges "
+            f"vs {full} under full activation — the schedule was ignored"
+        )
+
+    @pytest.mark.parametrize("name", ["flooding", "name_dropper", "pointer_jump"])
+    def test_subset_edge_sets_match_across_backends(self, name):
+        """Both backends agree on *which* edges a subset run creates."""
+        edge_sets = {}
+        for backend in BACKENDS:
+            process = make_process(name, gen.cycle_graph(N), rng=5, backend=backend)
+            wrapped = ScheduledProcess(process, FixedSubsetActivation(SUBSET))
+            for _ in range(ROUNDS):
+                wrapped.step()
+            edge_sets[backend] = sorted(
+                (min(int(u), int(v)), max(int(u), int(v)))
+                for u, v in process.graph.edge_list()
+            )
+        assert edge_sets["list"] == edge_sets["array"]
+
+
+class TestScheduledTraceEquivalence:
+    """ScheduledProcess × {push, pull, baselines}: list ≡ array per round."""
+
+    PROCESSES = ["push", "pull", "name_dropper", "pointer_jump", "flooding"]
+
+    @staticmethod
+    def _run(name: str, backend: str, make_schedule):
+        process = make_process(name, gen.cycle_graph(20), rng=13, backend=backend)
+        wrapped = ScheduledProcess(process, make_schedule())
+        per_round = []
+        for _ in range(5):
+            result = wrapped.step()
+            per_round.append(
+                frozenset(
+                    (min(int(u), int(v)), max(int(u), int(v)))
+                    for u, v in result.added_edges
+                )
+            )
+        return {
+            "per_round": per_round,
+            "messages": process.total_messages,
+            "bits": process.total_bits,
+            "edges": sorted(
+                (min(int(u), int(v)), max(int(u), int(v)))
+                for u, v in process.graph.edge_list()
+            ),
+        }
+
+    @pytest.mark.parametrize("name", PROCESSES)
+    def test_fixed_subset_schedule_trace_equivalent(self, name):
+        ref = self._run(name, "list", lambda: FixedSubsetActivation([1, 4, 7, 10]))
+        fast = self._run(name, "array", lambda: FixedSubsetActivation([1, 4, 7, 10]))
+        assert ref == fast
+
+    @pytest.mark.parametrize("name", PROCESSES)
+    def test_bernoulli_schedule_trace_equivalent(self, name):
+        """The schedule draws from the process rng; both backends share the stream."""
+        ref = self._run(name, "list", lambda: BernoulliActivation(0.5))
+        fast = self._run(name, "array", lambda: BernoulliActivation(0.5))
+        assert ref == fast
+
+    @pytest.mark.parametrize("name", ["name_dropper", "pointer_jump"])
+    def test_round_robin_single_actor_rounds(self, name):
+        """One node per tick: a baseline round does at most one node's work."""
+        for backend in BACKENDS:
+            process = make_process(name, gen.cycle_graph(10), rng=2, backend=backend)
+            wrapped = ScheduledProcess(process, RoundRobinActivation())
+            result = wrapped.step()
+            assert result.messages_sent <= 2  # one actor (pointer jump pays 2)
+
+
+class TestScheduledProcessPassthrough:
+    """The wrapper is a full stand-in: no reaching into ``.process`` needed."""
+
+    def test_exposes_rng_round_index_metrics_history(self):
+        process = make_process("push", gen.cycle_graph(12), rng=0, backend="array")
+        wrapped = ScheduledProcess(process, FixedSubsetActivation([0, 1, 2]))
+        assert wrapped.rng is process.rng
+        assert wrapped.round_index == 0
+        assert wrapped.backend == "array"
+        assert wrapped.semantics is process.semantics
+        first = wrapped.step()
+        assert wrapped.round_index == 1
+        assert wrapped.history == [first]
+        result = wrapped.run(3)
+        assert wrapped.round_index == 1 + result.rounds
+        assert len(wrapped.history) == 1 + result.rounds
+        metrics = wrapped.metrics
+        assert metrics["rounds"] == wrapped.round_index
+        assert metrics["edges_added"] == wrapped.total_edges_added == process.total_edges_added
+        assert metrics["messages"] == wrapped.total_messages == process.total_messages
+        assert metrics["bits"] == wrapped.total_bits == process.total_bits
+
+    def test_degree_view_passthrough_matches_graph(self):
+        process = make_process("pull", gen.cycle_graph(10), rng=3, backend="list")
+        wrapped = ScheduledProcess(process, FixedSubsetActivation([0, 5]))
+        wrapped.run(4)
+        assert np.array_equal(wrapped.degree_view(), process.graph.degrees())
+        assert wrapped.cached_min_degree() == process.graph.min_degree()
+
+    def test_out_of_range_subset_raises_at_first_step(self):
+        process = make_process("push", gen.cycle_graph(6), rng=0)
+        wrapped = ScheduledProcess(process, FixedSubsetActivation([2, 9]))
+        with pytest.raises(ValueError, match="node 9"):
+            wrapped.step()
+
+    def test_run_accepts_positional_arguments(self):
+        """The wrapper's run mirrors DiscoveryProcess.run's full signature."""
+        process = make_process("pull", gen.cycle_graph(8), rng=0)
+        wrapped = ScheduledProcess(process, FixedSubsetActivation([0, 1]))
+        seen = []
+        result = wrapped.run(3, None, True, [lambda proc, res: seen.append(res)])
+        assert result.rounds == 3
+        assert len(result.history) == 3
+        assert seen == wrapped.history

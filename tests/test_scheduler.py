@@ -32,10 +32,18 @@ class TestSchedules:
     def test_fixed_subset(self, rng):
         sched = FixedSubsetActivation([3, 1, 3])
         assert list(sched.active_nodes(10, 0, rng)) == [1, 3]
-        # nodes outside the graph are dropped
-        assert list(sched.active_nodes(2, 0, rng)) == [1]
         with pytest.raises(ValueError):
             FixedSubsetActivation([])
+
+    def test_fixed_subset_rejects_out_of_range_ids(self, rng):
+        """Out-of-range ids raise at first use instead of silently shrinking."""
+        sched = FixedSubsetActivation([1, 3])
+        with pytest.raises(ValueError, match="node 3"):
+            sched.active_nodes(2, 0, rng)
+        # the same schedule is still usable at a valid size
+        assert list(sched.active_nodes(4, 0, rng)) == [1, 3]
+        with pytest.raises(ValueError, match="non-negative"):
+            FixedSubsetActivation([-1, 2])
 
     def test_round_robin(self, rng):
         sched = RoundRobinActivation()
