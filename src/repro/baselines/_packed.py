@@ -27,6 +27,7 @@ import numpy as np
 
 __all__ = [
     "require_undirected",
+    "supports_undirected",
     "packed_rows",
     "concat_rows",
     "rows_with_self",
@@ -37,12 +38,26 @@ __all__ = [
 UNDIRECTED_PROTOCOL = ("neighbors", "random_neighbors", "add_edge", "has_edge", "is_complete")
 
 
-def require_undirected(graph, who: str) -> None:
-    """Raise ``TypeError`` unless ``graph`` is an undirected neighbour-protocol graph.
+def supports_undirected(graph) -> bool:
+    """True when ``graph`` speaks the undirected neighbour/membership protocol.
 
     Capability-based: both :class:`~repro.graphs.adjacency.DynamicGraph`
     and :class:`~repro.graphs.array_adjacency.ArrayGraph` qualify; directed
-    graphs and arbitrary objects do not.
+    graphs and arbitrary objects do not.  This predicate (not an
+    ``isinstance`` check against one backend class) is what recorders and
+    simulators must gate on — a stale ``isinstance(graph, DynamicGraph)``
+    guard silently no-ops on the array backend.
+    """
+    if getattr(graph, "directed", True):
+        return False
+    return all(callable(getattr(graph, name, None)) for name in UNDIRECTED_PROTOCOL)
+
+
+def require_undirected(graph, who: str) -> None:
+    """Raise ``TypeError`` unless ``graph`` is an undirected neighbour-protocol graph.
+
+    The raising form of :func:`supports_undirected`, with a message naming
+    the missing capabilities.
     """
     if getattr(graph, "directed", True):
         raise TypeError(f"{who} requires an undirected graph, got {type(graph).__name__}")

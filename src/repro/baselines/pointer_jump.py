@@ -169,9 +169,17 @@ class RandomPointerJump(DiscoveryProcess):
         )
         added = graph.add_edges_batch_arrays(learners, payload)
         result.added_edges = added
-        if self._missing is not None:
-            self._missing.difference_update(added)
+        self._absorb_added(added)
         self._note_added_edges(added)
+
+    def _absorb_added(self, added: List[Tuple[int, int]]) -> None:
+        """Keep the directed closure-deficit set current for a batch of new edges.
+
+        Shared by the packed round and the sharded merge (which applies the
+        round's edges itself and then hands the new ones here).
+        """
+        if self._missing is not None and added:
+            self._missing.difference_update(added)
 
     def _apply_action(self, u: int, payload: List[int], result: RoundResult) -> None:
         result.messages_sent += 2  # request + bulk reply

@@ -146,8 +146,17 @@ def _cmd_nonmonotone(args: argparse.Namespace) -> int:
 
 
 def _cmd_group(args: argparse.Namespace) -> int:
-    host = generators.make_family(args.host_family, args.host_n)
-    result = discover_group(host, k=args.k, process=args.process, seed=args.seed)
+    import numpy as np
+
+    # The host graph draws from its own seeded generator so a fixed --seed
+    # reproduces the whole scenario (host, group and restricted run alike)
+    # on either backend; an unseeded host made --seed meaningless.
+    host = generators.make_family(
+        args.host_family, args.host_n, np.random.default_rng(args.seed)
+    )
+    result = discover_group(
+        host, k=args.k, process=args.process, seed=args.seed, backend=args.backend
+    )
     _print_table(
         [
             {
@@ -172,6 +181,7 @@ def _cmd_directed(args: argparse.Namespace) -> int:
         directed=True,
         poly_exponent=2.0,
         backend=args.backend,
+        shards=args.shards,
     )
     _print_table(measurement.as_rows())
     print()
@@ -208,8 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=1,
-        help="row-shard count for the round engine (>1 requires --backend array "
-        "and a shardable process: push, pull or flooding)",
+        help="row-shard count for the round engine (>1 requires --backend array; "
+        "every registered process is shardable)",
     )
     p_run.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_run.set_defaults(func=_cmd_run)
@@ -233,8 +243,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=1,
-        help="row-shard count for the round engine (>1 requires --backend array "
-        "and a shardable process: push, pull or flooding)",
+        help="row-shard count for the round engine (>1 requires --backend array; "
+        "every registered process is shardable)",
     )
     p_scaling.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_scaling.set_defaults(func=_cmd_scaling)
@@ -251,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_group.add_argument("--k", type=int, default=24)
     p_group.add_argument("--process", default="push")
     p_group.add_argument("--seed", type=int, default=None)
+    p_group.add_argument(
+        "--backend",
+        choices=["list", "array"],
+        default="list",
+        help="graph backend for the restricted group run (identical seeded result)",
+    )
     p_group.set_defaults(func=_cmd_group)
 
     p_dir = sub.add_parser("directed", help="directed two-hop walk scaling sweep")
@@ -264,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="list",
         help="graph backend: list (default) or the vectorized array fast path "
         "(supported by every process, baselines included)",
+    )
+    p_dir.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="row-shard count for the directed walk's rounds "
+        "(>1 requires --backend array)",
     )
     p_dir.set_defaults(func=_cmd_directed)
 

@@ -19,8 +19,9 @@ from typing import Iterable, List, Optional, Set, Tuple, Union
 import numpy as np
 
 from repro.core.base import BatchProposals, DiscoveryProcess, UpdateSemantics
+from repro.graphs import bitset
 from repro.graphs.adjacency import DynamicDiGraph
-from repro.graphs.closure import transitive_closure_edges
+from repro.graphs.closure import IncrementalClosure, adjacency_bits
 
 __all__ = ["DirectedTwoHopWalk"]
 
@@ -28,9 +29,16 @@ __all__ = ["DirectedTwoHopWalk"]
 class DirectedTwoHopWalk(DiscoveryProcess):
     """The two-hop walk process on a directed graph with closure termination.
 
-    The target transitive closure is computed once from the starting graph;
-    afterwards a counter of still-missing closure edges is maintained in
-    O(1) per added edge, so convergence checks never rescan the graph.
+    The target transitive closure is computed once from the starting graph
+    and kept as **packed bitset rows** (n²/8 bytes) rather than a Python
+    set of ordered pairs, so the termination target stays affordable at
+    large ``n``.  The still-missing-closure-edges deficit is a counter
+    maintained with one batched membership test per round, and the live
+    closure of the evolving graph is tracked by an
+    :class:`~repro.graphs.closure.IncrementalClosure` (row-OR propagation
+    per edge batch instead of Warshall recomputes) — the walk only ever
+    adds edges inside the initial closure, so each round's maintenance is
+    O(#added edges).
 
     Parameters
     ----------
@@ -64,10 +72,16 @@ class DirectedTwoHopWalk(DiscoveryProcess):
             )
         super().__init__(graph, rng, semantics, backend=backend)
         graph = self.graph  # the backend conversion may have replaced it
-        self._target_closure: Set[Tuple[int, int]] = transitive_closure_edges(graph)
-        self._missing: Set[Tuple[int, int]] = {
-            e for e in self._target_closure if not graph.has_edge(*e)
-        }
+        # One full Warshall pass at construction; every later update is
+        # incremental.  The target excludes the diagonal (cycles through u
+        # are never edges), matching transitive_closure_edges().
+        self._closure = IncrementalClosure.from_graph(graph)
+        self._target_bits = self._closure.closure_bits().copy()
+        diag = np.arange(graph.n, dtype=np.int64)
+        bitset.clear_bits(self._target_bits, diag, diag)
+        self._deficit = int(
+            bitset.count_total(self._target_bits & ~adjacency_bits(graph))
+        )
 
     # ------------------------------------------------------------------ #
     # process definition
@@ -106,11 +120,27 @@ class DirectedTwoHopWalk(DiscoveryProcess):
         pos = np.flatnonzero(valid)
         return BatchProposals(nodes.shape[0], nodes[pos], ws[pos], pos)
 
+    def _absorb_added(self, added: List[Tuple[int, int]]) -> None:
+        """Fold genuinely-new edges into the deficit counter and live closure.
+
+        One batched membership test against the packed target rows replaces
+        the old per-edge set discards; the live closure's update is O(1)
+        per edge already implied (the walk never proposes anything else).
+        Every insertion path — per-edge :meth:`apply_edge`, the batched
+        synchronous round, the sharded merge — funnels its new edges here.
+        """
+        if not added:
+            return
+        arr = np.asarray(added, dtype=np.int64).reshape(-1, 2)
+        in_target = bitset.get_bits(self._target_bits, arr[:, 0], arr[:, 1])
+        self._deficit -= int(in_target.sum())
+        self._closure.add_edges(arr[:, 0], arr[:, 1])
+
     def apply_edge(self, edge: Tuple[int, int]) -> bool:
-        """Insert the edge and keep the missing-closure counter up to date."""
+        """Insert the edge and keep the closure-deficit counter up to date."""
         added = self.graph.add_edge(*edge)
         if added:
-            self._missing.discard(edge)
+            self._absorb_added([edge])
         return added
 
     def apply_proposals(
@@ -118,7 +148,7 @@ class DirectedTwoHopWalk(DiscoveryProcess):
         proposed: Optional[List[Tuple[int, int]]],
         batch: Optional[BatchProposals] = None,
     ) -> List[Tuple[int, int]]:
-        """Batched insert plus missing-closure bookkeeping over the new edges only."""
+        """Batched insert plus closure-deficit bookkeeping over the new edges only."""
         if "apply_edge" in self.__dict__ or type(self).apply_edge is not DirectedTwoHopWalk.apply_edge:
             if proposed is None:
                 proposed = batch.edges() if batch is not None else []
@@ -130,14 +160,13 @@ class DirectedTwoHopWalk(DiscoveryProcess):
                 added = self.graph.add_edges_batch(proposed if proposed is not None else [])
             else:
                 added = [edge for edge in (proposed or []) if self.graph.add_edge(*edge)]
-            for edge in added:
-                self._missing.discard(edge)
+            self._absorb_added(added)
         self._note_added_edges(added)
         return added
 
     def is_converged(self) -> bool:
         """True when every transitive-closure edge of ``G_0`` is present."""
-        return not self._missing
+        return self._deficit == 0
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -145,11 +174,22 @@ class DirectedTwoHopWalk(DiscoveryProcess):
     @property
     def target_closure(self) -> Set[Tuple[int, int]]:
         """The set of ordered pairs the process must eventually connect."""
-        return set(self._target_closure)
+        us, vs = np.nonzero(bitset.unpack_bool_matrix(self._target_bits, self.graph.n))
+        return set(zip(us.tolist(), vs.tolist()))
 
     def missing_closure_edges(self) -> Set[Tuple[int, int]]:
         """Closure edges not yet present in the current graph."""
-        return set(self._missing)
+        missing = self._target_bits & ~adjacency_bits(self.graph)
+        us, vs = np.nonzero(bitset.unpack_bool_matrix(missing, self.graph.n))
+        return set(zip(us.tolist(), vs.tolist()))
+
+    def closure_deficit_count(self) -> int:
+        """Number of target-closure edges still missing (the counter itself)."""
+        return self._deficit
+
+    def live_closure(self) -> IncrementalClosure:
+        """The incrementally-maintained closure of the *evolving* graph."""
+        return self._closure
 
     def default_round_cap(self) -> int:
         """Safety cap derived from the paper's directed upper bound O(n² log n)."""

@@ -38,6 +38,7 @@ __all__ = [
     "transitive_closure_graph",
     "closure_deficit",
     "is_transitively_closed",
+    "IncrementalClosure",
 ]
 
 DiGraphLike = Union[DynamicDiGraph, "ArrayDiGraph"]  # noqa: F821 - doc only
@@ -143,6 +144,57 @@ def closure_deficit(graph: DiGraphLike, closure: Set[Tuple[int, int]]) -> List[T
     present = bitset.get_bits(adjacency_bits(graph), arr[:, 0], arr[:, 1])
     missing = arr[~present]
     return [(int(u), int(v)) for u, v in missing]
+
+
+class IncrementalClosure:
+    """All-pairs reachability of an evolving (append-only) digraph.
+
+    Computes the packed transitive closure once with Warshall elimination
+    (:func:`repro.graphs.bitset.transitive_closure_bits`) and then keeps it
+    exact under edge *batches* via row-OR propagation from each batch
+    endpoint (:func:`repro.graphs.bitset.closure_add_edges`): an inserted
+    edge ``u → v`` costs one column extraction plus one masked row-OR, and
+    edges already implied by the closure cost O(1) amortised.  This is what
+    makes closure-deficit tracking affordable for the directed sweeps at
+    large ``n`` — a round's edge batch lies (mostly or entirely) inside the
+    existing closure, so maintenance is O(batch) where a recompute would be
+    O(n³/64).
+
+    The diagonal follows the Warshall convention: ``reach[u, u]`` is set
+    iff ``u`` lies on a directed cycle.  Property-tested equal to a full
+    :func:`transitive_closure_bits` recompute under random edge batches
+    (``tests/test_closure.py``).
+    """
+
+    __slots__ = ("n", "reach")
+
+    def __init__(self, bits: np.ndarray, n_bits: int) -> None:
+        self.n = int(n_bits)
+        self.reach = bitset.transitive_closure_bits(bits, self.n)
+
+    @classmethod
+    def from_graph(cls, graph: DiGraphLike) -> "IncrementalClosure":
+        """Seed the closure from a graph (packed zero-copy on the array backend)."""
+        return cls(adjacency_bits(graph), graph.n)
+
+    def add_edges(self, us: np.ndarray, vs: np.ndarray) -> int:
+        """Fold a batch of inserted edges in; returns how many extended the closure."""
+        return bitset.closure_add_edges(self.reach, us, vs)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Scalar convenience form of :meth:`add_edges`."""
+        return self.add_edges(np.array([u]), np.array([v])) > 0
+
+    def closure_bits(self) -> np.ndarray:
+        """The packed closure rows (live view — callers must not mutate)."""
+        return self.reach
+
+    def deficit_count(self, adj_bits: np.ndarray) -> int:
+        """Number of off-diagonal closure pairs absent from ``adj_bits``."""
+        missing = self.reach & ~adj_bits
+        diag = np.arange(self.n, dtype=np.int64)
+        bitset.clear_bits(missing, diag, diag)
+        return bitset.count_total(missing)
 
 
 def is_transitively_closed(graph: DiGraphLike) -> bool:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.baselines._packed import require_undirected
 from repro.graphs.adjacency import DynamicGraph
 from repro.network.failures import FailureModel, NoFailures
 from repro.network.message import Message, id_bits_for
@@ -77,11 +78,13 @@ class NetworkSimulator:
         rng: Union[np.random.Generator, int, None] = None,
         failures: Optional[FailureModel] = None,
     ) -> None:
-        if not isinstance(graph, DynamicGraph):
-            raise TypeError("NetworkSimulator requires an undirected DynamicGraph topology")
+        # Capability check (not an isinstance against one backend class):
+        # any undirected neighbour-protocol graph — list- or array-backed —
+        # is a valid topology; directed graphs still raise TypeError.
+        require_undirected(graph, "NetworkSimulator")
         self.n = graph.n
         self.nodes: List[NetworkNode] = [
-            NetworkNode(u, graph.neighbors(u)) for u in graph.nodes()
+            NetworkNode(u, list(graph.neighbors(u))) for u in graph.nodes()
         ]
         if isinstance(protocol, str):
             try:

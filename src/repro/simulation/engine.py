@@ -82,8 +82,11 @@ def make_process(
     ``shards > 1`` wraps the process in
     :class:`repro.simulation.sharding.ShardedProcess`, which runs each
     round's propose phase over contiguous row shards and OR-merges the
-    packed deltas (requires ``backend="array"`` and a shardable process —
-    push, pull or flooding).  ``shard_seed`` feeds the per-round shard
+    packed deltas (requires ``backend="array"``; every registered process
+    is shardable — see
+    :data:`repro.simulation.sharding.SHARDABLE_PROCESSES`, which covers
+    the gossip processes, the directed two-hop walk and the payload
+    baselines).  ``shard_seed`` feeds the per-round shard
     streams (e.g. the trial's ``SeedSequence``); ``shard_parallel``
     selects the process-pool path (``None`` = auto by size).  ``shards=1``
     returns the plain process — draw-for-draw identical to not passing

@@ -55,9 +55,10 @@ class ExperimentSpec:
         their payload rounds run on the packed bitset substrate.
     shards:
         Row-shard count for the round engine (default 1 = unsharded).
-        ``shards > 1`` requires ``backend="array"`` and a shardable
-        process; each trial's shard streams are spawned from the trial's
-        own ``SeedSequence`` (see :mod:`repro.simulation.sharding`).
+        ``shards > 1`` requires ``backend="array"``; every registered
+        process is shardable (gossip, the directed walk and the payload
+        baselines alike).  Each trial's shard streams are spawned from the
+        trial's own ``SeedSequence`` (see :mod:`repro.simulation.sharding`).
     shard_parallel:
         ``True``/``False`` force the process-pool / in-process sharded
         path; ``None`` (default) selects by graph size.

@@ -8,19 +8,28 @@ bitset substrate:
 
 1. **Partition.**  :class:`ShardPlan` cuts the node rows ``0 .. n-1`` into
    ``k`` contiguous, near-equal ranges.  A shard owns the *proposals* (or,
-   for flooding, the *received deliveries*) of its rows; the round-start
-   graph state is shared read-only by every shard.
+   for the payload processes, the *received deliveries*) of its rows; the
+   round-start graph state is shared read-only by every shard.
 2. **Propose per shard.**  Each shard runs its propose phase
    independently: one bulk draw per shard (see the RNG convention below)
    plus the same index math as the unsharded vectorized kernels, over the
-   shared padded neighbour rows and packed membership rows.
+   shared padded (out-)neighbour rows and packed membership rows.
 3. **OR-merge.**  Shards report packed membership deltas — proposal
-   endpoint arrays for the gossip processes, a packed block of delta rows
-   for flooding — which the coordinator accumulates in a
-   :class:`repro.graphs.bitset.DeltaRows` (``or_into_range`` for row
-   blocks).  New edges are extracted in canonical row-major order and
-   applied through the graph's batched insert, so the application order
-   never depends on the shard count.
+   endpoint arrays for the gossip processes (push, pull and the directed
+   two-hop walk), a packed block of delta rows for the payload baselines
+   (flooding, Name Dropper, pointer jump) — which the coordinator
+   accumulates in a :class:`repro.graphs.bitset.DeltaRows`
+   (``or_into_range`` for row blocks).  New edges are extracted in
+   canonical row-major order and applied through the graph's batched
+   insert, so the application order never depends on the shard count.
+
+The whole registry is shardable: the directed walk's two hops are pull's
+two-hop index math over the out-neighbour rows, and the Name Dropper /
+pointer-jump payload rounds OR-merge through the same
+``or_into_range``/``DeltaRows`` kernels flooding's deliveries do (Name
+Dropper partitions by *recipient* — every shard derives the identical
+full-round target draw and keeps the deliveries landing in its own row
+range; pointer jump partitions by *puller*, whose learned row is its own).
 
 Execution is in-process by default; for large ``n`` (or on request) the
 shards run on a :class:`concurrent.futures.ProcessPoolExecutor`, with the
@@ -64,10 +73,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.baselines._packed import concat_rows
+from repro.baselines._packed import concat_rows, packed_rows
 from repro.baselines.flooding import NeighborhoodFlooding
+from repro.baselines.name_dropper import NameDropper
+from repro.baselines.pointer_jump import RandomPointerJump
 from repro.core.base import BatchProposals, DiscoveryProcess, RoundResult
 from repro.core.base import UpdateSemantics
+from repro.core.directed import DirectedTwoHopWalk
 from repro.core.pull import PullDiscovery
 from repro.core.push import PushDiscovery
 from repro.graphs import bitset
@@ -82,18 +94,29 @@ __all__ = [
 ]
 
 #: process classes with a registered sharded propose kernel (exact types —
-#: subclasses may customise ``propose`` and must opt in explicitly).
+#: subclasses may customise ``propose`` and must opt in explicitly).  This
+#: covers the whole process registry: the gossip processes merge sparse
+#: proposal endpoints, the payload baselines merge packed delta-row blocks.
 SHARDABLE_PROCESSES: Dict[type, str] = {
     PushDiscovery: "push",
     PullDiscovery: "pull",
+    DirectedTwoHopWalk: "directed_walk",
     NeighborhoodFlooding: "flooding",
+    NameDropper: "name_dropper",
+    RandomPointerJump: "pointer_jump",
 }
+
+#: kinds whose shards report packed delta-row blocks (OR-merged through
+#: ``DeltaRows.or_into_range``); the rest report proposal endpoint arrays.
+_ROWBLOCK_KINDS = frozenset({"flooding", "name_dropper", "pointer_jump"})
 
 #: below this n the per-round process-pool round-trip costs more than the
 #: round itself; the auto mode stays in-process.
 DEFAULT_PARALLEL_THRESHOLD = 2048
 
-#: uniform stages per round for the RNG-driven kernels (two hops / two endpoints).
+#: uniform stages per round for the RNG-driven kernels (two hops / two
+#: endpoints; the single-draw payload rounds consume stage 0 only, which
+#: keeps the logical round array one fixed shape for every kind).
 _STAGES = 2
 
 
@@ -198,6 +221,91 @@ def _flooding_shard(
     return merged
 
 
+def _bulk_target_draw(nbr: np.ndarray, deg: np.ndarray, u_row: np.ndarray) -> np.ndarray:
+    """Full-round uniform (out-)neighbour targets from one logical uniform row.
+
+    The sharded form of ``random_neighbors(arange(n))``: ``-1`` marks nodes
+    with no (out-)neighbours.  Shard-count invariant by construction — the
+    uniforms come from the shared logical round array.
+    """
+    nodes = np.arange(deg.shape[0], dtype=np.int64)
+    return _gather(nbr, nodes, uniform_indices(u_row, deg))
+
+
+def _name_dropper_shard(
+    nbr: np.ndarray, deg: np.ndarray, bits: np.ndarray, lo: int, hi: int, u_row: np.ndarray
+) -> np.ndarray:
+    """Packed delta rows ``[lo, hi)`` of one Name Dropper round (recipient-partitioned).
+
+    Every shard derives the identical full-round target draw from the
+    shared logical uniforms and keeps only the deliveries landing in its
+    own row range: recipient ``v``'s delta is the OR of its senders'
+    round-start rows plus the senders' own ID bits ("every ID I know, then
+    my own"), minus ``v``'s own bit and the bits it already had.
+    """
+    targets = _bulk_target_draw(nbr, deg, u_row)
+    send = np.flatnonzero((targets >= lo) & (targets < hi))
+    merged = np.zeros((hi - lo, bits.shape[1]), dtype=np.uint64)
+    if send.size:
+        recipients = targets[send] - lo
+        bitset.rows_or_into(merged, recipients, bits, send)
+        bitset.set_bits(merged, recipients, send)
+    rowsel = np.arange(hi - lo, dtype=np.int64)
+    bitset.clear_bits(merged, rowsel, rowsel + lo)
+    np.bitwise_and(merged, ~bits[lo:hi], out=merged)
+    return merged
+
+
+def _pointer_jump_shard(
+    nbr: np.ndarray, deg: np.ndarray, bits: np.ndarray, lo: int, hi: int, u_slice: np.ndarray
+) -> np.ndarray:
+    """Packed delta rows ``[lo, hi)`` of one pointer-jump round (puller-partitioned).
+
+    Each puller ``u`` in the shard's range learns its chosen neighbour's
+    entire round-start (out-)row, so the learned rows stay confined to the
+    shard's own range — the same shape as flooding's receiver partition.
+    """
+    rowsel = np.arange(hi - lo, dtype=np.int64)
+    vs = _gather(nbr[lo:hi], rowsel, uniform_indices(u_slice, deg[lo:hi]))
+    ok = np.flatnonzero(vs >= 0)
+    merged = np.zeros((hi - lo, bits.shape[1]), dtype=np.uint64)
+    if ok.size:
+        bitset.rows_or_into(merged, ok, bits, vs[ok])
+    bitset.clear_bits(merged, rowsel, rowsel + lo)
+    np.bitwise_and(merged, ~bits[lo:hi], out=merged)
+    return merged
+
+
+def _run_kernel(
+    kind: str,
+    nbr: np.ndarray,
+    deg: np.ndarray,
+    bits: Optional[np.ndarray],
+    lo: int,
+    hi: int,
+    u: Optional[np.ndarray],
+    without_replacement: bool = False,
+):
+    """Dispatch one shard of one round to its kind's kernel.
+
+    Shared by the in-process loop and the pool worker so the two execution
+    paths can never drift apart.
+    """
+    if kind == "flooding":
+        return _flooding_shard(nbr, deg, bits, lo, hi)
+    if kind == "push":
+        return _push_shard(nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi], without_replacement)
+    if kind in ("pull", "directed_walk"):
+        # The directed two-hop walk is pull's two-hop index math over the
+        # shared out-neighbour rows (the round state already carries them).
+        return _pull_shard(nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi])
+    if kind == "name_dropper":
+        return _name_dropper_shard(nbr, deg, bits, lo, hi, u[0])
+    if kind == "pointer_jump":
+        return _pointer_jump_shard(nbr, deg, bits, lo, hi, u[0, lo:hi])
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
 def _round_uniforms(entropy: int, round_index: int, n: int) -> np.ndarray:
     """The round's full logical ``(stages, n)`` uniform array.
 
@@ -231,19 +339,21 @@ def _shard_task(payload: dict):
     try:
         nbr = _attach(payload["nbr"], refs)
         deg = _attach(payload["deg"], refs)
-        lo, hi = payload["lo"], payload["hi"]
+        bits = _attach(payload["bits"], refs) if "bits" in payload else None
         kind = payload["kind"]
-        if kind == "flooding":
-            bits = _attach(payload["bits"], refs)
-            return _flooding_shard(nbr, deg, bits, lo, hi)
-        u = _round_uniforms(payload["entropy"], payload["round_index"], payload["n"])
-        if kind == "push":
-            return _push_shard(
-                nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi], payload["without_replacement"]
-            )
-        if kind == "pull":
-            return _pull_shard(nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi])
-        raise ValueError(f"unknown shard kind {kind!r}")
+        u = None
+        if kind != "flooding":
+            u = _round_uniforms(payload["entropy"], payload["round_index"], payload["n"])
+        return _run_kernel(
+            kind,
+            nbr,
+            deg,
+            bits,
+            payload["lo"],
+            payload["hi"],
+            u,
+            payload.get("without_replacement", False),
+        )
     finally:
         for shm in refs:
             shm.close()
@@ -286,13 +396,15 @@ class ShardedProcess:
     Parameters
     ----------
     process:
-        A :class:`~repro.core.push.PushDiscovery`,
-        :class:`~repro.core.pull.PullDiscovery` or
-        :class:`~repro.baselines.flooding.NeighborhoodFlooding` instance on
-        the **array backend** with synchronous semantics and default (full)
+        Any registered process — push, pull, the directed two-hop walk,
+        Name Dropper, Random Pointer Jump (undirected or directed) or
+        neighbourhood flooding (see :data:`SHARDABLE_PROCESSES`) — on the
+        **array backend** with synchronous semantics and default (full)
         activation.  The wrapper mutates the process's graph and counters,
         so the wrapped instance stays the single source of truth for
-        convergence and metrics.
+        convergence and metrics (including the directed processes'
+        closure-deficit tracking, fed through their ``_absorb_added``
+        hooks).
     shards:
         Requested shard count (clamped to ``n``).  ``shards=1`` delegates
         every ``step()`` straight to the process — draw-for-draw identical
@@ -337,6 +449,7 @@ class ShardedProcess:
             )
         self.process = process
         self.kind = kind
+        self._directed = bool(getattr(process.graph, "directed", False))
         self.plan = ShardPlan(process.graph.n, shards)
         self.shards = self.plan.shards
         if self.shards > 1:
@@ -371,39 +484,32 @@ class ShardedProcess:
         """Execute one round: propose per shard, OR-merge, apply once."""
         if self.shards == 1:
             return self.process.step()
-        shard_results = self._run_shards()
-        if self.kind == "flooding":
-            return self._merge_flooding(shard_results)
+        # One logical draw per round, shared by the in-process kernels and
+        # the accounting (pool workers regenerate it from the entropy —
+        # cheaper than shipping it across the process boundary).
+        u = None
+        if self.kind != "flooding":
+            u = _round_uniforms(self._entropy, self.process.round_index, self.plan.n)
+        shard_results = self._run_shards(u)
+        if self.kind in _ROWBLOCK_KINDS:
+            return self._merge_rowblocks(shard_results, u)
         return self._merge_proposals(shard_results)
 
     def _round_state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        graph = self.process.graph
-        nbr, deg = graph.neighbor_rows()
-        return nbr, deg, graph.adjacency_bits()
+        """Shared round-start arrays: padded (out-)neighbour rows, degrees, bits."""
+        state = packed_rows(self.process.graph)
+        assert state is not None  # guaranteed by the array-backend gate
+        return state
 
-    def _run_shards(self) -> List:
+    def _run_shards(self, u: Optional[np.ndarray]) -> List:
         if self._parallel:
             return self._run_shards_parallel()
         nbr, deg, bits = self._round_state()
-        results = []
-        if self.kind == "flooding":
-            for lo, hi in self.plan.bounds:
-                results.append(_flooding_shard(nbr, deg, bits, lo, hi))
-            return results
-        # In-process mode draws the round's logical array once and hands
-        # each shard its slice — the same values every worker would draw.
-        u = _round_uniforms(self._entropy, self.process.round_index, self.plan.n)
-        for lo, hi in self.plan.bounds:
-            if self.kind == "push":
-                results.append(
-                    _push_shard(
-                        nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi],
-                        bool(getattr(self.process, "without_replacement", False)),
-                    )
-                )
-            else:
-                results.append(_pull_shard(nbr, deg, lo, hi, u[0, lo:hi], u[1, lo:hi]))
-        return results
+        wor = bool(getattr(self.process, "without_replacement", False))
+        return [
+            _run_kernel(self.kind, nbr, deg, bits, lo, hi, u, wor)
+            for lo, hi in self.plan.bounds
+        ]
 
     def _run_shards_parallel(self) -> List:
         nbr, deg, bits = self._round_state()
@@ -415,7 +521,9 @@ class ShardedProcess:
             "nbr": self._publish("nbr", nbr),
             "deg": self._publish("deg", deg),
         }
-        if self.kind == "flooding":
+        if self.kind in _ROWBLOCK_KINDS:
+            # The payload kernels OR whole membership rows, so the packed
+            # matrix crosses the process boundary through shared memory too.
             base["bits"] = self._publish("bits", bits)
         else:
             base["without_replacement"] = bool(
@@ -438,10 +546,12 @@ class ShardedProcess:
 
         The sparse form of the delta-row OR-merge: a gossip round proposes
         O(n) edges, so instead of accumulating an n×n delta matrix the
-        proposals are canonicalised, filtered against the packed membership
-        rows, and deduped by sorted key — which is exactly the canonical
-        row-major order :meth:`bitset.DeltaRows.new_edges` would report, so
-        the application order stays shard-count invariant.
+        proposals are canonicalised (``min < max`` for undirected edges,
+        orientation preserved for the directed walk), filtered against the
+        packed membership rows, and deduped by sorted key — which is
+        exactly the canonical row-major order
+        :meth:`bitset.DeltaRows.new_edges` would report, so the application
+        order stays shard-count invariant.
         """
         process = self.process
         graph = process.graph
@@ -452,8 +562,11 @@ class ShardedProcess:
         result.attach_batch(
             BatchProposals(n, us, vs, np.concatenate([r[2] for r in shard_results]))
         )
-        low = np.minimum(us, vs)
-        high = np.maximum(us, vs)
+        if self._directed:
+            low, high = us, vs
+        else:
+            low = np.minimum(us, vs)
+            high = np.maximum(us, vs)
         keep = low != high
         low, high = low[keep], high[keep]
         fresh = ~bitset.get_bits(graph.adjacency_bits(), low, high)
@@ -463,8 +576,21 @@ class ShardedProcess:
         result.bits_sent = result.messages_sent * process._id_bits
         return self._finish_round(result)
 
-    def _merge_flooding(self, shard_results: Sequence[np.ndarray]) -> RoundResult:
-        """Row-range OR-merge of the shards' packed delta blocks."""
+    def _merge_rowblocks(
+        self, shard_results: Sequence[np.ndarray], u: Optional[np.ndarray]
+    ) -> RoundResult:
+        """Row-range OR-merge of the shards' packed delta blocks.
+
+        Flooding's deltas are symmetric (both endpoints of a new edge
+        receive the same sender's row), so its new edges extract once per
+        undirected pair.  The Name Dropper / pointer-jump deliveries are
+        one-sided — only the learner's row gains the bit — so their new
+        edges are extracted bit by bit in row-major order and the graph's
+        batched insert canonicalises cross-orientation duplicates.  Either
+        way the merged delta matrix never depends on where the shard
+        boundaries fall, so the applied edge order is shard-count
+        invariant.
+        """
         process = self.process
         graph = process.graph
         n = graph.n
@@ -473,16 +599,38 @@ class ShardedProcess:
         delta = bitset.DeltaRows(n, n)
         for (lo, _hi), block in zip(self.plan.bounds, shard_results):
             delta.or_into_range(lo, block)
-        add_us, add_vs = delta.new_edges(bits, directed=False)
-        _, deg = graph.neighbor_rows()
-        result.messages_sent = int(deg.sum())
-        result.bits_sent = int((deg * (deg + 1)).sum()) * process._id_bits
+        add_us, add_vs = delta.new_edges(bits, directed=self.kind != "flooding")
+        self._account_rowblocks(result, u)
         result.added_edges = graph.add_edges_batch_arrays(add_us, add_vs)
         return self._finish_round(result)
+
+    def _account_rowblocks(self, result: RoundResult, u: Optional[np.ndarray]) -> None:
+        """Round message/bit accounting for the payload kinds (round-start state)."""
+        process = self.process
+        nbr, deg, _bits = self._round_state()
+        if self.kind == "flooding":
+            # Every node sends its (deg+1)-ID knowledge set to every neighbour.
+            result.messages_sent = int(deg.sum())
+            result.bits_sent = int((deg * (deg + 1)).sum()) * process._id_bits
+        elif self.kind == "name_dropper":
+            senders = deg > 0
+            result.messages_sent = int(senders.sum())
+            result.bits_sent = int((deg[senders] + 1).sum()) * process._id_bits
+        else:  # pointer_jump: the reply size is the *chosen* neighbour's degree
+            targets = _bulk_target_draw(nbr, deg, u[0])
+            chosen = targets[targets >= 0]
+            result.messages_sent = 2 * int(chosen.size)  # request + bulk reply each
+            result.bits_sent = int((1 + deg[chosen]).sum()) * process._id_bits
 
     def _finish_round(self, result: RoundResult) -> RoundResult:
         """Advance the wrapped process's counters exactly like its own step()."""
         process = self.process
+        # Processes with closure-deficit bookkeeping (the directed walk,
+        # pointer jump) fold the round's new edges into it here — the same
+        # hook their own batched rounds use.
+        absorb = getattr(process, "_absorb_added", None)
+        if absorb is not None:
+            absorb(result.added_edges)
         process._note_added_edges(result.added_edges)
         process.round_index += 1
         process.total_edges_added += result.num_added

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.baselines._packed import supports_undirected
 from repro.core.base import DiscoveryProcess, RoundResult
 from repro.graphs.adjacency import DynamicGraph
 from repro.graphs import properties
@@ -95,7 +96,10 @@ class EvolutionTracker:
         if result.round_index % self.every != 0:
             return
         graph = process.graph
-        if not isinstance(graph, DynamicGraph):
+        # Capability check, not a backend isinstance: a stale
+        # `isinstance(graph, DynamicGraph)` guard here silently recorded
+        # zero snapshots whenever the run used the array backend.
+        if not supports_undirected(graph):
             return
         self.snapshots.append(self.snapshot(graph, result.round_index + 1))
 
@@ -125,15 +129,18 @@ def simulate_social_evolution(
     every: int = 10,
     seed: Optional[int] = None,
     probe_nodes: int = 16,
+    backend: Optional[str] = None,
 ) -> List[EvolutionSnapshot]:
     """Run ``process`` on a copy of ``graph`` for ``rounds`` rounds, returning snapshots.
 
     The round-0 snapshot of the untouched starting graph is always included
     first so growth can be expressed relative to the initial network.
+    ``backend`` selects the graph substrate for the run (``"list"`` or
+    ``"array"``); snapshots are recorded on either.
     """
     work = graph.copy()
     tracker = EvolutionTracker(every=every, probe_nodes=probe_nodes, rng=seed)
     baseline = tracker.snapshot(work, 0)
-    proc = make_process(process, work, rng=seed)
+    proc = make_process(process, work, rng=seed, backend=backend)
     proc.run(rounds, callbacks=[tracker])
     return [baseline] + tracker.snapshots

@@ -72,18 +72,22 @@ def discover_group(
     process: str = "push",
     seed: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> GroupDiscoveryResult:
     """Run the group-discovery scenario on ``host``.
 
     Exactly one of ``members`` (an explicit group) or ``k`` (sample a
-    connected group of that size) must be provided.
+    connected group of that size) must be provided.  ``backend`` selects
+    the substrate of the restricted run (``"list"`` or ``"array"``; the
+    seeded result is identical — group sampling and the restricted
+    process share one generator on either backend).
     """
     if (members is None) == (k is None):
         raise ValueError("provide exactly one of `members` or `k`")
     rng = np.random.default_rng(seed)
     if members is None:
         members = sample_connected_group(host, int(k), rng)
-    subset = SubsetDiscovery(host, members, process=process, rng=rng)
+    subset = SubsetDiscovery(host, members, process=process, rng=rng, backend=backend)
     result = subset.run_to_convergence(max_rounds=max_rounds)
     group_size = subset.k
     log_k = max(float(np.log(group_size)), 1.0)

@@ -19,15 +19,19 @@ import pytest
 from repro import cli
 from repro.baselines.flooding import NeighborhoodFlooding
 from repro.baselines.name_dropper import NameDropper
+from repro.baselines.pointer_jump import RandomPointerJump
 from repro.core.base import UpdateSemantics
+from repro.core.directed import DirectedTwoHopWalk
 from repro.core.pull import PullDiscovery
 from repro.core.push import PushDiscovery
+from repro.core.variants import FaultyPushDiscovery
 from repro.graphs import bitset
+from repro.graphs import directed_generators as dgen
 from repro.graphs import generators as gen
 from repro.simulation.engine import make_process
 from repro.simulation.experiment import ExperimentSpec
 from repro.simulation.runner import run_trials
-from repro.simulation.sharding import ShardPlan, ShardedProcess
+from repro.simulation.sharding import SHARDABLE_PROCESSES, ShardPlan, ShardedProcess
 
 
 def canon(edges):
@@ -39,6 +43,16 @@ def trajectory(process_cls, n, seed, shards, rounds=6, parallel=False, **kwargs)
     process = process_cls(gen.cycle_graph(n), rng=seed, backend="array", **kwargs)
     with ShardedProcess(process, shards=shards, parallel=parallel) as sharded:
         return [sorted(canon(sharded.step().added_edges)) for _ in range(rounds)]
+
+
+def directed_trajectory(process_cls, n, seed, shards, rounds=6, parallel=False):
+    """Per-round ordered added-edge lists of a sharded run on a strong digraph."""
+    process = process_cls(dgen.thm15_strong_lower_bound(n), rng=seed, backend="array")
+    with ShardedProcess(process, shards=shards, parallel=parallel) as sharded:
+        return [
+            sorted((int(u), int(v)) for u, v in sharded.step().added_edges)
+            for _ in range(rounds)
+        ]
 
 
 class TestShardPlan:
@@ -170,6 +184,129 @@ class TestTraceContract:
         assert sum(r.num_added for r in result.history) == result.total_edges_added
 
 
+class TestFullRegistryTraceContract:
+    """PR 5: the directed walk and the payload baselines are shardable too."""
+
+    def test_registry_is_fully_shardable(self):
+        assert set(SHARDABLE_PROCESSES) == {
+            PushDiscovery,
+            PullDiscovery,
+            DirectedTwoHopWalk,
+            NeighborhoodFlooding,
+            NameDropper,
+            RandomPointerJump,
+        }
+
+    @pytest.mark.parametrize("process_cls", [NameDropper, RandomPointerJump])
+    def test_shards_1_is_draw_for_draw_unsharded_payload(self, process_cls):
+        plain = process_cls(gen.cycle_graph(20), rng=5, backend="array")
+        ref = [sorted(canon(plain.step().added_edges)) for _ in range(6)]
+        wrapped = process_cls(gen.cycle_graph(20), rng=5, backend="array")
+        sharded = ShardedProcess(wrapped, shards=1)
+        got = [sorted(canon(sharded.step().added_edges)) for _ in range(6)]
+        assert got == ref
+        assert plain.rng.bit_generator.state == wrapped.rng.bit_generator.state
+
+    def test_shards_1_is_draw_for_draw_unsharded_directed_walk(self):
+        plain = DirectedTwoHopWalk(
+            dgen.thm15_strong_lower_bound(16), rng=4, backend="array"
+        )
+        ref = [sorted(map(tuple, plain.step().added_edges)) for _ in range(6)]
+        wrapped = DirectedTwoHopWalk(
+            dgen.thm15_strong_lower_bound(16), rng=4, backend="array"
+        )
+        sharded = ShardedProcess(wrapped, shards=1)
+        got = [sorted(map(tuple, sharded.step().added_edges)) for _ in range(6)]
+        assert got == ref
+        assert plain.rng.bit_generator.state == wrapped.rng.bit_generator.state
+
+    @pytest.mark.parametrize("process_cls", [NameDropper, RandomPointerJump])
+    def test_fixed_seed_fixed_trajectory_payload(self, process_cls):
+        assert trajectory(process_cls, 24, 7, shards=3) == trajectory(
+            process_cls, 24, 7, shards=3
+        )
+
+    @pytest.mark.parametrize("process_cls", [NameDropper, RandomPointerJump])
+    def test_cross_shard_count_equivalence_payload(self, process_cls):
+        reference = trajectory(process_cls, 24, 7, shards=2)
+        for shards in (3, 4, 5):
+            assert trajectory(process_cls, 24, 7, shards=shards) == reference
+
+    def test_cross_shard_count_equivalence_directed_walk(self):
+        reference = directed_trajectory(DirectedTwoHopWalk, 24, 7, shards=2)
+        for shards in (3, 4, 5):
+            assert directed_trajectory(DirectedTwoHopWalk, 24, 7, shards=shards) == reference
+
+    def test_cross_shard_count_equivalence_directed_pointer_jump(self):
+        reference = directed_trajectory(RandomPointerJump, 20, 9, shards=2)
+        for shards in (3, 4):
+            assert directed_trajectory(RandomPointerJump, 20, 9, shards=shards) == reference
+
+    def test_sharded_walk_converges_to_transitive_closure(self):
+        proc = DirectedTwoHopWalk(
+            dgen.thm15_strong_lower_bound(12), rng=3, backend="array"
+        )
+        with ShardedProcess(proc, shards=3) as sharded:
+            result = sharded.run_to_convergence()
+        assert result.converged
+        assert proc.closure_deficit_count() == 0
+        # the strong construction's closure is the complete digraph
+        assert proc.graph.number_of_edges() == 12 * 11
+
+    @pytest.mark.parametrize("process_cls", [NameDropper, RandomPointerJump])
+    def test_sharded_payload_rounds_complete_the_graph(self, process_cls):
+        proc = process_cls(gen.cycle_graph(16), rng=1, backend="array")
+        with ShardedProcess(proc, shards=2) as sharded:
+            result = sharded.run_to_convergence()
+        assert result.converged
+        assert proc.graph.is_complete()
+
+    def test_sharded_directed_pointer_jump_tracks_closure(self):
+        proc = RandomPointerJump(
+            dgen.thm15_strong_lower_bound(12), rng=2, backend="array"
+        )
+        with ShardedProcess(proc, shards=3) as sharded:
+            result = sharded.run_to_convergence()
+        assert result.converged
+        assert proc.is_converged()
+        assert not proc._missing
+
+    @pytest.mark.parametrize(
+        "process_cls, graph_factory",
+        [
+            (NameDropper, lambda: gen.star_graph(20)),
+            (RandomPointerJump, lambda: gen.cycle_graph(20)),
+        ],
+    )
+    def test_round_accounting_matches_unsharded_start_state(
+        self, process_cls, graph_factory
+    ):
+        """Messages are activation-shaped: round 0 matches the unsharded round 0."""
+        plain = process_cls(graph_factory(), rng=3, backend="array")
+        ref = plain.step()
+        proc = process_cls(graph_factory(), rng=3, backend="array")
+        with ShardedProcess(proc, shards=4) as sharded:
+            got = sharded.step()
+        assert got.messages_sent == ref.messages_sent
+        if process_cls is NameDropper:
+            # name-dropper payload sizes depend only on the round-start degrees
+            assert got.bits_sent == ref.bits_sent
+
+    @pytest.mark.parametrize(
+        "process_cls", [NameDropper, RandomPointerJump, DirectedTwoHopWalk]
+    )
+    def test_parallel_matches_serial_new_kinds(self, process_cls):
+        if process_cls is DirectedTwoHopWalk:
+            serial = directed_trajectory(process_cls, 24, 5, shards=3, rounds=4)
+            parallel = directed_trajectory(
+                process_cls, 24, 5, shards=3, rounds=4, parallel=True
+            )
+        else:
+            serial = trajectory(process_cls, 24, 5, shards=3, rounds=4)
+            parallel = trajectory(process_cls, 24, 5, shards=3, rounds=4, parallel=True)
+        assert parallel == serial
+
+
 class TestParallelPath:
     """The process-pool path is semantics-identical to the in-process path."""
 
@@ -188,7 +325,13 @@ class TestParallelPath:
 
 class TestValidation:
     def test_rejects_unshardable_process(self):
-        proc = NameDropper(gen.cycle_graph(8), rng=0, backend="array")
+        # Kernel registration is exact-type: a subclass that customises the
+        # proposal rule (the faulty variants) must opt in explicitly.
+        from repro.graphs.array_adjacency import as_backend
+
+        proc = FaultyPushDiscovery(
+            as_backend(gen.cycle_graph(8), "array"), failure_prob=0.1, rng=0
+        )
         with pytest.raises(ValueError, match="no sharded round kernel"):
             ShardedProcess(proc, shards=2)
 
