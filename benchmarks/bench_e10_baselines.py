@@ -107,6 +107,7 @@ def test_e10_message_level_bandwidth(benchmark, smoke):
                     "protocol": protocol,
                     "rounds": sim.stats.rounds,
                     "max_bits_per_node_round": sim.max_bits_per_node_round(),
+                    "max_round_mean_bits_per_node": sim.max_round_mean_bits_per_node(),
                     "messages_sent": sim.stats.messages_sent,
                 }
             )
@@ -116,8 +117,14 @@ def test_e10_message_level_bandwidth(benchmark, smoke):
     print_table(f"E10 message-level accounting on a {n}-cycle", rows)
     by_name = {row["protocol"]: row for row in rows}
     id_bits = id_bits_for(n)
+    # Sender-side budgets hold for the true per-node max: push is two IDs.
     assert by_name["push"]["max_bits_per_node_round"] <= 2 * id_bits
-    assert by_name["pull"]["max_bits_per_node_round"] <= 3 * id_bits + id_bits
+    # Pull's *requester* budget is O(log n) (request + connect + its own
+    # reply), but a popular node answers every request that lands on it,
+    # so the true per-node max scales with the request in-degree; the
+    # mean-load claim is the per-node-average one.
+    assert by_name["pull"]["max_round_mean_bits_per_node"] <= 4 * id_bits
+    assert by_name["pull"]["max_bits_per_node_round"] <= (n + 2) * id_bits
     assert by_name["name_dropper"]["max_bits_per_node_round"] > 4 * id_bits
 
 

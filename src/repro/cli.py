@@ -7,6 +7,7 @@ Usage examples::
     repro-gossip nonmonotone
     repro-gossip group --host-n 256 --k 24 --process push
     repro-gossip directed --family thm15_strong --sizes 8 16 24
+    repro-gossip async --protocol push --n 64 --jitter 1.5 --drop 0.1 --compare-sync
 
 Every subcommand prints a small aligned table to stdout; the benchmark
 harnesses under ``benchmarks/`` use the same underlying functions.
@@ -192,6 +193,77 @@ def _cmd_directed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_async(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.network import (
+        AsyncNetworkSimulator,
+        ChurnSchedule,
+        DropUniform,
+        FixedLatency,
+        NetworkSimulator,
+        UniformLatency,
+    )
+
+    if args.jitter > 0:
+        latency = UniformLatency(max(args.latency - args.jitter, 0.0), args.latency + args.jitter)
+    else:
+        latency = FixedLatency(args.latency)
+    failures = DropUniform(args.drop) if args.drop > 0 else None
+    churn = None
+    ping_interval = args.ping_interval if args.ping_interval > 0 else None
+    if args.churn_rate > 0:
+        churn = ChurnSchedule.poisson(
+            args.n,
+            rate=args.churn_rate,
+            horizon=float(args.max_ticks),
+            seed=(args.seed or 0) + 1,
+            downtime=args.churn_downtime,
+        )
+        if ping_interval is None:
+            # Churned-out contacts must be evictable or convergence stalls.
+            ping_interval = 1.0
+
+    sim = AsyncNetworkSimulator(
+        generators.make_family(args.family, args.n, np.random.default_rng(args.seed)),
+        protocol=args.protocol,
+        rng=np.random.default_rng(args.seed),
+        latency=latency,
+        failures=failures,
+        churn=churn,
+        partitions=None,
+        ping_interval=ping_interval,
+        # A round trip can take 2*(latency+jitter); a shorter timeout would
+        # evict live contacts on latency alone.
+        ping_timeout=max(2.0, 2.5 * (args.latency + args.jitter)),
+    )
+    sim.run_to_convergence(max_ticks=args.max_ticks)
+    row = {
+        "protocol": args.protocol,
+        "family": args.family,
+        "n": args.n,
+        "ticks": sim.stats.ticks,
+        "converged": sim.is_converged(),
+        "messages_sent": sim.stats.messages_sent,
+        "dropped": sim.stats.messages_dropped,
+        "lost_dead": sim.stats.messages_lost_dead,
+        "discoveries": sim.stats.discoveries,
+        "evictions": sim.stats.evictions,
+    }
+    if args.compare_sync:
+        sync = NetworkSimulator(
+            generators.make_family(args.family, args.n, np.random.default_rng(args.seed)),
+            protocol=args.protocol,
+            rng=np.random.default_rng(args.seed),
+        )
+        sync.run_to_convergence(max_rounds=args.max_ticks)
+        row["sync_rounds"] = sync.stats.rounds
+        row["inflation"] = sim.stats.ticks / sync.stats.rounds if sync.stats.rounds else float("nan")
+    _print_table([row])
+    _save_rows([row], args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -289,6 +361,45 @@ def build_parser() -> argparse.ArgumentParser:
         "(>1 requires --backend array)",
     )
     p_dir.set_defaults(func=_cmd_directed)
+
+    p_async = sub.add_parser(
+        "async",
+        help="event-driven run: per-message latency, loss, churn, liveness pings",
+    )
+    p_async.add_argument("--protocol", default="push", choices=["push", "pull", "name_dropper"])
+    p_async.add_argument("--family", default="cycle")
+    p_async.add_argument("--n", type=int, default=64)
+    p_async.add_argument("--seed", type=int, default=None)
+    p_async.add_argument("--max-ticks", type=int, default=5000)
+    p_async.add_argument(
+        "--latency", type=float, default=0.45, help="mean one-way message latency (ticks)"
+    )
+    p_async.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="half-width of the uniform latency window around --latency (0 = deterministic)",
+    )
+    p_async.add_argument("--drop", type=float, default=0.0, help="iid message-loss probability")
+    p_async.add_argument(
+        "--churn-rate", type=float, default=0.0, help="Poisson node-leave rate (events per tick)"
+    )
+    p_async.add_argument(
+        "--churn-downtime", type=float, default=5.0, help="ticks a churned node stays down"
+    )
+    p_async.add_argument(
+        "--ping-interval",
+        type=float,
+        default=0.0,
+        help="liveness ping period (0 = off; forced on when --churn-rate > 0)",
+    )
+    p_async.add_argument(
+        "--compare-sync",
+        action="store_true",
+        help="also run the synchronous simulator on the same seed and report the tick inflation",
+    )
+    p_async.add_argument("--save", default=None, help="write results to a .json or .csv file")
+    p_async.set_defaults(func=_cmd_async)
 
     return parser
 

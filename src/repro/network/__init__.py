@@ -4,35 +4,78 @@ The graph-level processes in :mod:`repro.core` are the mathematical
 objects the paper analyses.  This subpackage re-implements them as
 *distributed protocols*: every node is an agent holding only its local
 neighbour table, and all information moves through explicit messages with
-bit-accounted payloads, delivered by a synchronous simulator.  Tests
-cross-validate that the protocol implementations induce exactly the same
-random graph evolution as the graph-level processes, and experiment E10
-uses the message accounting for the bandwidth comparison against Name
-Dropper / flooding.
+bit-accounted payloads.  The per-message state transitions live in
+:mod:`repro.network.protocols` and are driven by two interchangeable
+engines:
+
+* :class:`NetworkSimulator` — the paper's idealization: synchronous
+  lock-step rounds, optional message loss.
+* :class:`AsyncNetworkSimulator` — an event-queue engine with per-message
+  latency (:mod:`repro.network.events`), node churn, partitions, and
+  ping-based liveness eviction; in its degenerate configuration it
+  replays the synchronous engine draw for draw.
+
+Both engines enforce the model's locality (a node can only address IDs it
+was actually handed — :class:`LocalityError` otherwise) and report true
+per-``(node, round)`` bandwidth.  Tests cross-validate that the protocol
+implementations induce exactly the same random graph evolution as the
+graph-level processes; experiment E10 uses the message accounting for the
+bandwidth comparison against Name Dropper / flooding, and
+``benchmarks/bench_async.py`` measures how discovery degrades when the
+synchronous idealization is relaxed.
 """
 
-from repro.network.message import Message, MessageKind, id_bits_for
+from repro.network.message import LocalityError, Message, MessageKind, id_bits_for
 from repro.network.node import NetworkNode
 from repro.network.protocols import (
     GossipProtocol,
+    ProtocolContext,
     PushProtocol,
     PullProtocol,
     NameDropperProtocol,
+    resolve_protocol,
 )
-from repro.network.simulator import NetworkSimulator
+from repro.network.simulator import NetworkSimulator, SimulationStats
 from repro.network.failures import DropUniform, FailureModel, NoFailures
+from repro.network.events import (
+    ChurnSchedule,
+    Event,
+    EventKind,
+    EventQueue,
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    PartitionSchedule,
+    UniformLatency,
+)
+from repro.network.async_simulator import AsyncNetworkSimulator, AsyncSimulationStats
 
 __all__ = [
     "Message",
     "MessageKind",
+    "LocalityError",
     "id_bits_for",
     "NetworkNode",
     "GossipProtocol",
+    "ProtocolContext",
     "PushProtocol",
     "PullProtocol",
     "NameDropperProtocol",
+    "resolve_protocol",
     "NetworkSimulator",
+    "SimulationStats",
+    "AsyncNetworkSimulator",
+    "AsyncSimulationStats",
     "FailureModel",
     "NoFailures",
     "DropUniform",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "ChurnSchedule",
+    "PartitionSchedule",
 ]

@@ -15,7 +15,17 @@ from typing import Sequence, Tuple
 
 from repro.core.base import id_bits
 
-__all__ = ["MessageKind", "Message", "id_bits_for"]
+__all__ = ["MessageKind", "Message", "LocalityError", "id_bits_for"]
+
+
+class LocalityError(ValueError):
+    """A node addressed a message to an ID it has never been handed.
+
+    The paper's model only lets a node contact IDs it knows: current
+    contacts, nodes it just heard from, or IDs carried by a delivered
+    payload.  Both simulators raise this instead of silently delivering a
+    message that no real deployment could route.
+    """
 
 
 def id_bits_for(n: int) -> int:
@@ -40,6 +50,10 @@ class MessageKind(str, enum.Enum):
     CONNECT = "connect"
     #: name dropper: bulk transfer of every ID the sender knows.
     KNOWLEDGE = "knowledge"
+    #: async liveness probe sent to a contact (payload: ping id).
+    PING = "ping"
+    #: async liveness acknowledgement (payload: the echoed ping id).
+    PONG = "pong"
 
 
 @dataclass(frozen=True)
@@ -51,9 +65,11 @@ class Message:
     kind:
         The protocol-level message type.
     sender, receiver:
-        Node IDs of the endpoints.  Delivery requires that the receiver is
-        a current neighbour of the sender *or* was just introduced to it —
-        the simulator enforces the locality the paper's model assumes.
+        Node IDs of the endpoints.  Sending requires that the receiver is
+        a current contact of the sender *or* was just introduced to it
+        (heard from it, or handed its ID in a delivered payload) — both
+        simulators enforce the locality the paper's model assumes and
+        raise :class:`LocalityError` on violations.
     payload:
         The node IDs carried by the message (possibly empty for requests).
     round_index:

@@ -60,6 +60,15 @@ class NetworkNode:
         self._contacts.append(other)
         return True
 
+    def remove_contact(self, other: int) -> bool:
+        """Forget a contact (liveness eviction); returns True when it was known."""
+        other = int(other)
+        if other not in self._contact_set:
+            return False
+        self._contact_set.discard(other)
+        self._contacts.remove(other)
+        return True
+
     def degree(self) -> int:
         """Number of known contacts."""
         return len(self._contacts)

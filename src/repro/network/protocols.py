@@ -1,58 +1,179 @@
-"""The discovery protocols expressed as per-round message exchanges.
+"""The discovery protocols expressed as per-message state transitions.
 
-Each protocol implements :meth:`GossipProtocol.run_round`: given the
-simulator (which owns the nodes, the RNG and the failure model), generate
-this round's messages from the *round-start* local states, hand them to the
-simulator for delivery, and apply the state updates of delivered messages.
-The split into explicit phases mirrors what a real implementation would do
-on the wire:
+Each protocol is split into two engine-agnostic pieces:
 
-* **Push**: one phase — each node sends two ``INTRODUCE`` messages, one to
-  each chosen neighbour, carrying the other neighbour's ID.
-* **Pull**: three phases — ``PULL_REQUEST`` to a random neighbour, a
-  ``PULL_REPLY`` carrying a random ID from the *round-start* contact list
-  of the replier, then a ``CONNECT`` message from the requester to the
-  discovered node (both endpoints record the new contact).
-* **Name Dropper**: one phase — each node sends its entire contact list
-  (plus its own ID) to one random neighbour.
+* :meth:`GossipProtocol.initiate_batch` — given the nodes that act in this
+  activation (a synchronous round or an async tick) and a
+  :class:`ProtocolContext`, sample the messages those nodes originate.
+* :meth:`GossipProtocol.on_deliver` — apply one delivered message's state
+  transition at the receiver and return any follow-up messages (e.g. the
+  ``PULL_REPLY`` answering a ``PULL_REQUEST``).
 
-All sampling is done against round-start snapshots so the protocols match
-the synchronous semantics of the graph-level processes; the push protocol
-draws through the same bulk convention as the vectorized round engine
-(one ``rng.random(n)`` block per sampling stage, indices mapped by
+The synchronous :class:`~repro.network.simulator.NetworkSimulator` drives
+these through the default :meth:`GossipProtocol.run_round` (a FIFO
+breadth-first message loop, which reproduces the classic phase structure:
+all requests, then all replies, then all connects); the asynchronous
+:class:`~repro.network.async_simulator.AsyncNetworkSimulator` drives the
+very same transitions from timestamped delivery events.  The transitions
+are therefore written once and shared between both engines.
+
+Per-protocol shapes:
+
+* **Push**: each acting node sends two ``INTRODUCE`` messages, one to each
+  chosen neighbour, carrying the other neighbour's ID.
+* **Pull**: ``PULL_REQUEST`` to a random neighbour; the delivered request
+  triggers a ``PULL_REPLY`` carrying a random ID from the replier's
+  reply snapshot; the delivered reply is *recorded at the requester* and
+  triggers a ``CONNECT`` that informs the discovered node.  (The requester
+  keeps the ID as soon as the reply arrives — an earlier implementation
+  only recorded it if the outgoing ``CONNECT`` was also delivered, which
+  silently discarded knowledge under message loss.)
+* **Name Dropper**: each acting node sends its entire contact list (plus
+  its own ID) to one random neighbour.
+
+All sampling is done against activation-start snapshots so the protocols
+match the synchronous semantics of the graph-level processes; the push
+protocol draws through the same bulk convention as the vectorized round
+engine (one ``rng.random(n)`` block per sampling stage, indices mapped by
 :func:`repro.graphs.sampling.uniform_indices`), so it stays draw-for-draw
 identical to :class:`repro.core.push.PushDiscovery` when given the same
-seed and starting graph — on either graph backend.
+seed and starting graph — on either graph backend, and under either
+simulation engine.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.graphs.sampling import uniform_indices
 from repro.network.message import Message, MessageKind
+from repro.network.node import NetworkNode
 
-__all__ = ["GossipProtocol", "PushProtocol", "PullProtocol", "NameDropperProtocol"]
+__all__ = [
+    "ProtocolContext",
+    "GossipProtocol",
+    "PushProtocol",
+    "PullProtocol",
+    "NameDropperProtocol",
+    "resolve_protocol",
+]
+
+
+class ProtocolContext:
+    """Engine services a protocol needs while generating/applying messages.
+
+    Parameters
+    ----------
+    rng:
+        The generator all protocol draws go through.
+    round_index:
+        The logical activation index stamped onto created messages (the
+        round number for the synchronous engine, the tick index for the
+        async one).
+    reply_snapshots:
+        Mapping of node id to the contact tuple replies are sampled from.
+        The synchronous engine passes round-start snapshots (so replies
+        are drawn from :math:`G_t` exactly like the graph-level two-hop
+        walk); the async engine passes nothing and replies sample the
+        replier's *current* contacts at delivery time.
+    record_discovery:
+        Callback ``(node_id, contact_id)`` invoked whenever a node stores
+        a previously unknown contact.
+    """
+
+    __slots__ = ("rng", "round_index", "_reply_snapshots", "_record")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        round_index: int,
+        record_discovery,
+        reply_snapshots: Dict[int, Tuple[int, ...]] = None,
+    ) -> None:
+        self.rng = rng
+        self.round_index = round_index
+        self._record = record_discovery
+        self._reply_snapshots = reply_snapshots
+
+    def reply_contacts(self, node: NetworkNode) -> Sequence[int]:
+        """The contact list ``node`` answers pull requests from."""
+        if self._reply_snapshots is not None:
+            return self._reply_snapshots[node.node_id]
+        return node.contacts
+
+    def record_discovery(self, node_id: int, contact_id: int) -> None:
+        """Report a stored-for-the-first-time contact to the engine."""
+        self._record(node_id, contact_id)
 
 
 class GossipProtocol(abc.ABC):
-    """Interface for a per-round message-level protocol."""
+    """Interface for a message-level discovery protocol."""
 
-    #: short name used by the simulator factory and the experiments.
+    #: short name used by the simulator factories and the experiments.
     name: str = "abstract"
 
     @abc.abstractmethod
+    def initiate_batch(
+        self, nodes: Sequence[NetworkNode], ctx: ProtocolContext
+    ) -> List[Message]:
+        """Messages originated by ``nodes`` at one activation.
+
+        ``nodes`` is the list of currently acting nodes (all of them in the
+        synchronous engine; the alive subset under churn in the async one).
+        Sampling must read only activation-start state — implementations
+        never apply state changes here.
+        """
+
+    @abc.abstractmethod
+    def on_deliver(
+        self, receiver: NetworkNode, message: Message, ctx: ProtocolContext
+    ) -> List[Message]:
+        """Apply ``message`` at ``receiver``; return follow-up messages.
+
+        This is the single definition of each message kind's state
+        transition, shared by both simulation engines.  Follow-ups are
+        returned (not sent) so the engine controls delivery.
+        """
+
     def run_round(self, simulator) -> None:
         """Execute one synchronous round on ``simulator``.
 
-        Implementations must send all messages through
-        ``simulator.send(message)`` (which applies the failure model and
-        does the accounting) and apply state changes only for messages the
-        simulator reports as delivered.
+        A FIFO loop over the outbox: initiation messages first, then each
+        delivered message's follow-ups in delivery order.  Because
+        follow-ups append behind the remaining initiations, this replays
+        the classic phase structure (all requests, then all replies, then
+        all connects) and—under ``NoFailures``—consumes the RNG in exactly
+        the order the phase-structured implementation did.  All messages
+        go through ``simulator.send`` (failure model, locality check and
+        accounting); transitions run only for delivered messages.
         """
+        ctx = ProtocolContext(
+            rng=simulator.rng,
+            round_index=simulator.round_index,
+            record_discovery=simulator.record_discovery,
+            reply_snapshots={
+                node.node_id: tuple(node.contacts) for node in simulator.nodes
+            },
+        )
+        outbox = deque(self.initiate_batch(simulator.nodes, ctx))
+        while outbox:
+            message = outbox.popleft()
+            if simulator.send(message):
+                receiver = simulator.nodes[message.receiver]
+                outbox.extend(self.on_deliver(receiver, message, ctx))
+
+
+def _absorb_payload(
+    receiver: NetworkNode, message: Message, ctx: ProtocolContext
+) -> None:
+    """Store every payload ID at ``receiver``, reporting new ones."""
+    for contact in message.payload:
+        if receiver.add_contact(contact):
+            ctx.record_discovery(receiver.node_id, contact)
 
 
 class PushProtocol(GossipProtocol):
@@ -60,18 +181,15 @@ class PushProtocol(GossipProtocol):
 
     name = "push"
 
-    def run_round(self, simulator) -> None:
-        rng = simulator.rng
-        round_index = simulator.round_index
-        deliveries: List[Message] = []
-        # Sample every node's action against the round-start contact lists,
-        # using the engine's bulk draw convention: one rng.random(n) block
-        # per chosen endpoint, so this protocol consumes the same stream as
+    def initiate_batch(self, nodes, ctx):
+        # Bulk draw convention: one rng.random(len(nodes)) block per chosen
+        # endpoint, so this protocol consumes the same stream as
         # PushDiscovery.propose_batch on the same seed.
-        nodes = simulator.nodes
+        rng = ctx.rng
         degrees = np.array([node.degree() for node in nodes], dtype=np.int64)
         first = uniform_indices(rng.random(len(nodes)), degrees)
         second = uniform_indices(rng.random(len(nodes)), degrees)
+        messages: List[Message] = []
         for node, i, j in zip(nodes, first.tolist(), second.tolist()):
             if i < 0:
                 continue
@@ -79,17 +197,17 @@ class PushProtocol(GossipProtocol):
             w = node.contacts[j]
             if v == w:
                 continue
-            msg_v = Message(MessageKind.INTRODUCE, node.node_id, v, (w,), round_index)
-            msg_w = Message(MessageKind.INTRODUCE, node.node_id, w, (v,), round_index)
-            for msg in (msg_v, msg_w):
-                if simulator.send(msg):
-                    deliveries.append(msg)
-        # Apply all deliveries after sampling (synchronous update).
-        for msg in deliveries:
-            receiver = simulator.nodes[msg.receiver]
-            for contact in msg.payload:
-                if receiver.add_contact(contact):
-                    simulator.record_discovery(msg.receiver, contact)
+            messages.append(
+                Message(MessageKind.INTRODUCE, node.node_id, v, (w,), ctx.round_index)
+            )
+            messages.append(
+                Message(MessageKind.INTRODUCE, node.node_id, w, (v,), ctx.round_index)
+            )
+        return messages
+
+    def on_deliver(self, receiver, message, ctx):
+        _absorb_payload(receiver, message, ctx)
+        return []
 
 
 class PullProtocol(GossipProtocol):
@@ -97,54 +215,57 @@ class PullProtocol(GossipProtocol):
 
     name = "pull"
 
-    def run_round(self, simulator) -> None:
-        rng = simulator.rng
-        round_index = simulator.round_index
-        nodes = simulator.nodes
-        # Snapshot round-start contact lists so replies are sampled from G_t.
-        snapshots: Dict[int, Tuple[int, ...]] = {
-            node.node_id: tuple(node.contacts) for node in nodes
-        }
-
-        # Phase 1: every node with contacts sends a pull request to a random neighbour.
-        requests: List[Message] = []
+    def initiate_batch(self, nodes, ctx):
+        messages: List[Message] = []
         for node in nodes:
             if node.degree() == 0:
                 continue
-            v = node.random_contact(rng)
-            msg = Message(MessageKind.PULL_REQUEST, node.node_id, v, (), round_index)
-            if simulator.send(msg):
-                requests.append(msg)
+            v = node.random_contact(ctx.rng)
+            messages.append(
+                Message(MessageKind.PULL_REQUEST, node.node_id, v, (), ctx.round_index)
+            )
+        return messages
 
-        # Phase 2: each request is answered with a random round-start contact of the replier.
-        replies: List[Message] = []
-        for req in requests:
-            replier_contacts = snapshots[req.receiver]
-            if not replier_contacts:
-                continue
-            w = replier_contacts[int(rng.integers(len(replier_contacts)))]
-            msg = Message(MessageKind.PULL_REPLY, req.receiver, req.sender, (w,), round_index)
-            if simulator.send(msg):
-                replies.append(msg)
-
-        # Phase 3: the requester connects to the discovered node (if it is not itself).
-        connects: List[Message] = []
-        for rep in replies:
-            u = rep.receiver
-            (w,) = rep.payload
-            if w == u:
-                continue
-            msg = Message(MessageKind.CONNECT, u, w, (u,), round_index)
-            if simulator.send(msg):
-                connects.append(msg)
-
-        # Apply: both endpoints of every delivered CONNECT learn each other.
-        for msg in connects:
-            u, w = msg.sender, msg.receiver
-            if nodes[u].add_contact(w):
-                simulator.record_discovery(u, w)
-            if nodes[w].add_contact(u):
-                simulator.record_discovery(w, u)
+    def on_deliver(self, receiver, message, ctx):
+        if message.kind is MessageKind.PULL_REQUEST:
+            # Answer with a random contact from the reply snapshot.
+            contacts = ctx.reply_contacts(receiver)
+            if not contacts:
+                return []
+            w = contacts[int(ctx.rng.integers(len(contacts)))]
+            return [
+                Message(
+                    MessageKind.PULL_REPLY,
+                    receiver.node_id,
+                    message.sender,
+                    (w,),
+                    ctx.round_index,
+                )
+            ]
+        if message.kind is MessageKind.PULL_REPLY:
+            # The requester keeps the handed ID the moment the reply lands;
+            # the CONNECT below only *informs* the discovered node.  (Tying
+            # the requester's record to the CONNECT's delivery made a node
+            # forget an ID it had already received whenever the follow-up
+            # was dropped.)
+            (w,) = message.payload
+            if receiver.add_contact(w):
+                ctx.record_discovery(receiver.node_id, w)
+            if w == receiver.node_id:
+                return []
+            return [
+                Message(
+                    MessageKind.CONNECT,
+                    receiver.node_id,
+                    w,
+                    (receiver.node_id,),
+                    ctx.round_index,
+                )
+            ]
+        if message.kind is MessageKind.CONNECT:
+            _absorb_payload(receiver, message, ctx)
+            return []
+        raise ValueError(f"pull protocol cannot handle {message.kind!r}")
 
 
 class NameDropperProtocol(GossipProtocol):
@@ -152,21 +273,37 @@ class NameDropperProtocol(GossipProtocol):
 
     name = "name_dropper"
 
-    def run_round(self, simulator) -> None:
-        rng = simulator.rng
-        round_index = simulator.round_index
-        nodes = simulator.nodes
-        deliveries: List[Message] = []
+    def initiate_batch(self, nodes, ctx):
+        messages: List[Message] = []
         for node in nodes:
             if node.degree() == 0:
                 continue
-            v = node.random_contact(rng)
+            v = node.random_contact(ctx.rng)
             payload = tuple(node.contacts) + (node.node_id,)
-            msg = Message(MessageKind.KNOWLEDGE, node.node_id, v, payload, round_index)
-            if simulator.send(msg):
-                deliveries.append(msg)
-        for msg in deliveries:
-            receiver = simulator.nodes[msg.receiver]
-            for contact in msg.payload:
-                if receiver.add_contact(contact):
-                    simulator.record_discovery(msg.receiver, contact)
+            messages.append(
+                Message(MessageKind.KNOWLEDGE, node.node_id, v, payload, ctx.round_index)
+            )
+        return messages
+
+    def on_deliver(self, receiver, message, ctx):
+        _absorb_payload(receiver, message, ctx)
+        return []
+
+
+_PROTOCOLS = {
+    "push": PushProtocol,
+    "pull": PullProtocol,
+    "name_dropper": NameDropperProtocol,
+}
+
+
+def resolve_protocol(protocol) -> GossipProtocol:
+    """Instantiate ``protocol`` when given by name; pass instances through."""
+    if isinstance(protocol, GossipProtocol):
+        return protocol
+    try:
+        return _PROTOCOLS[protocol]()
+    except (KeyError, TypeError):
+        raise KeyError(
+            f"unknown protocol {protocol!r}; known: {sorted(_PROTOCOLS)}"
+        ) from None

@@ -19,6 +19,15 @@ class TestParser:
         args = cli.build_parser().parse_args(["scaling", "--sizes", "8", "16", "32"])
         assert args.sizes == [8, 16, 32]
 
+    def test_parses_async(self):
+        args = cli.build_parser().parse_args(
+            ["async", "--protocol", "pull", "--jitter", "1.5", "--churn-rate", "0.02"]
+        )
+        assert args.protocol == "pull"
+        assert args.jitter == 1.5
+        assert args.churn_rate == 0.02
+        assert not args.compare_sync
+
 
 class TestCommands:
     def test_run_command(self, capsys):
@@ -83,6 +92,30 @@ class TestCommands:
         content = target.read_text()
         assert "rounds_mean" in content
         assert content.count("\n") >= 3
+
+    def test_async_command_degenerate_matches_sync(self, capsys):
+        """Sub-tick fixed latency + no faults: the async run IS the sync run."""
+        assert cli.main(["async", "--protocol", "push", "--family", "cycle",
+                         "--n", "16", "--seed", "3", "--compare-sync"]) == 0
+        out = capsys.readouterr().out
+        assert "inflation" in out and "True" in out
+        row = out.splitlines()[1].split()
+        ticks, sync_rounds, inflation = row[3], row[-2], row[-1]
+        assert ticks == sync_rounds
+        assert inflation == "1"
+
+    def test_async_command_with_faults(self, capsys, tmp_path):
+        target = tmp_path / "async.json"
+        assert cli.main(["async", "--n", "12", "--seed", "3", "--jitter", "0.8",
+                         "--drop", "0.1", "--churn-rate", "0.01",
+                         "--save", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "evictions" in out and "True" in out
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["rows"][0]["converged"] is True
+        assert payload["metadata"]["command"] == "async"
 
     def test_directed_command(self, capsys):
         assert cli.main(["directed", "--family", "directed_cycle",

@@ -4,11 +4,21 @@ import numpy as np
 import pytest
 
 from repro.core.push import PushDiscovery
-from repro.graphs import generators as gen
-from repro.network.failures import DropUniform, NoFailures
-from repro.network.message import Message, MessageKind, id_bits_for
+from repro.network.failures import DropUniform, FailureModel, NoFailures
+from repro.network.message import LocalityError, Message, MessageKind, id_bits_for
 from repro.network.node import NetworkNode
 from repro.network.simulator import NetworkSimulator
+from repro.graphs import generators as gen
+
+
+class DropKind(FailureModel):
+    """Test helper: drop every message of one kind, deliver the rest."""
+
+    def __init__(self, kind: MessageKind) -> None:
+        self.kind = kind
+
+    def delivered(self, message: Message, rng: np.random.Generator) -> bool:
+        return message.kind is not self.kind
 
 
 class TestMessage:
@@ -46,6 +56,13 @@ class TestNetworkNode:
         assert node.add_contact(1) is False
         assert node.add_contact(0) is False  # never stores itself
         assert node.degree() == 1
+
+    def test_remove_contact(self):
+        node = NetworkNode(0, [1, 2, 3])
+        assert node.remove_contact(2) is True
+        assert node.remove_contact(2) is False  # already gone
+        assert list(node.contacts) == [1, 3]
+        assert not node.knows(2)
 
     def test_random_contact(self, rng):
         node = NetworkNode(0, [1, 2, 3])
@@ -158,3 +175,132 @@ class TestSimulator:
     def test_repr(self):
         sim = NetworkSimulator(gen.cycle_graph(5), protocol="pull", rng=0)
         assert "pull" in repr(sim)
+
+
+class TestPullReplyRetention:
+    """Regression: the requester keeps an ID handed by a delivered PULL_REPLY.
+
+    The old implementation recorded the discovery at *both* endpoints only
+    when the follow-up CONNECT was delivered, so dropping CONNECTs made
+    the requester forget knowledge it had already received.
+    """
+
+    def test_requester_records_reply_even_when_connect_dropped(self):
+        sim = NetworkSimulator(
+            gen.cycle_graph(12),
+            protocol="pull",
+            rng=7,
+            failures=DropKind(MessageKind.CONNECT),
+        )
+        for _ in range(30):
+            sim.step()
+        # Replies were delivered, so requesters must have learned new IDs
+        # even though every CONNECT was lost (before the fix: zero
+        # discoveries, every contact list still the initial one).
+        assert sim.stats.discoveries > 0
+        assert any(node.degree() > 2 for node in sim.nodes)
+
+    def test_discovered_node_only_learns_via_connect(self):
+        """The CONNECT keeps its one job: informing the discovered node."""
+        sim = NetworkSimulator(
+            gen.cycle_graph(12),
+            protocol="pull",
+            rng=7,
+            failures=DropKind(MessageKind.PULL_REPLY),
+        )
+        for _ in range(30):
+            sim.step()
+        # No reply ever arrives, so no requester learns anything and no
+        # CONNECT is ever sent: the whole process stalls.
+        assert sim.stats.discoveries == 0
+        assert all(node.degree() == 2 for node in sim.nodes)
+
+    def test_no_failures_trajectory_unchanged_by_fix(self):
+        """Under NoFailures the fix is invisible: same per-round evolution."""
+        a = NetworkSimulator(gen.cycle_graph(10), protocol="pull", rng=21)
+        b = NetworkSimulator(gen.cycle_graph(10), protocol="pull", rng=21)
+        for _ in range(15):
+            a.step()
+            b.step()
+            assert a.contact_graph() == b.contact_graph()
+        assert a.stats.discoveries == b.stats.discoveries
+
+
+class TestPerNodeBitAccounting:
+    """Regression: max_bits_per_node_round reports the busiest *node*."""
+
+    def test_true_max_differs_from_round_average(self):
+        # Star: round 1 of Name Dropper has the centre ship n IDs while
+        # every leaf ships 2, so the true per-node max is ~n IDs but the
+        # per-node average is ~3.  The old implementation returned the
+        # average under the max's name.
+        n = 16
+        sim = NetworkSimulator(gen.star_graph(n), protocol="name_dropper", rng=0)
+        sim.step()
+        id_bits = id_bits_for(n)
+        assert sim.max_bits_per_node_round() == n * id_bits
+        assert sim.max_round_mean_bits_per_node() <= 4 * id_bits
+        assert sim.max_bits_per_node_round() > sim.max_round_mean_bits_per_node()
+
+    def test_per_round_max_node_bits_tracked(self):
+        sim = NetworkSimulator(gen.cycle_graph(8), protocol="push", rng=1)
+        for _ in range(5):
+            sim.step()
+        assert len(sim.stats.per_round_max_node_bits) == 5
+        assert max(sim.stats.per_round_max_node_bits) == sim.max_bits_per_node_round()
+        # push: nobody ever sends more than two one-ID messages per round.
+        assert sim.max_bits_per_node_round() <= 2 * id_bits_for(8)
+
+    def test_empty_simulation_reports_zero(self):
+        sim = NetworkSimulator(gen.cycle_graph(8), protocol="push", rng=1)
+        assert sim.max_bits_per_node_round() == 0
+        assert sim.max_round_mean_bits_per_node() == 0
+
+
+class TestPerCallRoundBudget:
+    """Regression: run_to_convergence's max_rounds is a per-call budget."""
+
+    def test_two_consecutive_calls_each_get_the_budget(self):
+        sim = NetworkSimulator(gen.cycle_graph(30), protocol="push", rng=0)
+        sim.run_to_convergence(max_rounds=3)
+        assert sim.stats.rounds == 3
+        # Before the fix this second call compared against the cumulative
+        # stats.rounds and silently ran zero rounds.
+        sim.run_to_convergence(max_rounds=3)
+        assert sim.stats.rounds == 6
+        assert not sim.is_converged()
+
+    def test_budget_still_stops_at_convergence(self):
+        sim = NetworkSimulator(gen.cycle_graph(8), protocol="name_dropper", rng=2)
+        sim.run_to_convergence(max_rounds=10_000)
+        rounds = sim.stats.rounds
+        assert sim.is_converged()
+        sim.run_to_convergence(max_rounds=10_000)
+        assert sim.stats.rounds == rounds  # converged: no further rounds
+
+
+class TestLocalityEnforcement:
+    """The simulator rejects sends to IDs the sender was never handed."""
+
+    def test_non_local_send_rejected(self):
+        sim = NetworkSimulator(gen.path_graph(6), protocol="push", rng=0)
+        stranger = Message(MessageKind.INTRODUCE, 0, 5, (3,))
+        with pytest.raises(LocalityError):
+            sim.send(stranger)
+        # Nothing was accounted for the rejected message.
+        assert sim.stats.messages_sent == 0
+
+    def test_local_send_accepted(self):
+        sim = NetworkSimulator(gen.path_graph(6), protocol="push", rng=0)
+        assert sim.send(Message(MessageKind.INTRODUCE, 0, 1, (2,))) is True
+        assert sim.stats.messages_sent == 1
+
+    def test_protocols_never_violate_locality(self):
+        # Every protocol's full message flow stays within the rule — the
+        # pull CONNECT (addressed to a node learned this round) included.
+        for protocol in ("push", "pull", "name_dropper"):
+            sim = NetworkSimulator(
+                gen.cycle_graph(12), protocol=protocol, rng=3, failures=DropUniform(0.3)
+            )
+            for _ in range(40):
+                sim.step()
