@@ -8,6 +8,8 @@ Usage examples::
     repro-gossip group --host-n 256 --k 24 --process push
     repro-gossip directed --family thm15_strong --sizes 8 16 24
     repro-gossip async --protocol push --n 64 --jitter 1.5 --drop 0.1 --compare-sync
+    repro-gossip run --process push --n 256 --checkpoint-every 10 --checkpoint-dir ckpt
+    repro-gossip resume ckpt/trial_0000
 
 Every subcommand prints a small aligned table to stdout; the benchmark
 harnesses under ``benchmarks/`` use the same underlying functions.
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.nonmonotonicity import (
@@ -71,6 +74,9 @@ def _save_rows(rows, args) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
     spec = ExperimentSpec(
         process=args.process,
         family=args.family,
@@ -79,13 +85,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
         directed=args.directed,
         backend=args.backend,
         shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
-    trials = run_trials(spec, root_seed=args.seed)
+    trials = run_trials(
+        spec, root_seed=args.seed, processes=args.processes, retries=args.retries
+    )
+    for trial in trials:
+        if trial.failed:
+            print(f"FAILED: {trial.error}", file=sys.stderr)
     summary = summarize_trials(trials)
     summary_row = {"process": args.process, "family": args.family}
     summary_row.update(summary)
     _print_table([summary_row])
     _save_rows([summary_row], args)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.simulation.checkpoint import (
+        latest_checkpoint,
+        load_checkpoint,
+        resume_from_checkpoint,
+    )
+
+    path = Path(args.checkpoint)
+    if path.is_dir():
+        path = latest_checkpoint(path)
+    checkpoint = load_checkpoint(path)
+    result = resume_from_checkpoint(
+        path,
+        max_rounds=args.max_rounds,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir
+        or (str(Path(path).parent) if args.checkpoint_every else None),
+    )
+    row = {
+        "process": checkpoint.process_name,
+        "resumed_at_round": checkpoint.round_index,
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "edges_added": result.total_edges_added,
+        "messages": result.total_messages,
+        "bits": result.total_bits,
+    }
+    _print_table([row])
+    _save_rows([row], args)
     return 0
 
 
@@ -293,8 +338,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="row-shard count for the round engine (>1 requires --backend array; "
         "every registered process is shardable)",
     )
+    p_run.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for trial fan-out (1 = serial); worker death is "
+        "survived by pool rebuild + retry, then in-process degradation",
+    )
+    p_run.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="worker-pool failures tolerated before degrading to in-process runs",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="write an exact per-trial checkpoint every N rounds "
+        "(requires --checkpoint-dir; resume with the 'resume' subcommand)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="root directory for per-trial checkpoints (trial_<i>/round_<r> stems)",
+    )
     p_run.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_run.set_defaults(func=_cmd_run)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted run from a checkpoint, draw-for-draw identical",
+    )
+    p_resume.add_argument(
+        "checkpoint",
+        help="checkpoint stem/.json, or a directory holding round_* checkpoints "
+        "(the latest round is resumed)",
+    )
+    p_resume.add_argument("--max-rounds", type=int, default=None)
+    p_resume.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="keep checkpointing every N rounds while resuming "
+        "(defaults to writing beside the source checkpoint)",
+    )
+    p_resume.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for the resumed run's checkpoints",
+    )
+    p_resume.add_argument("--save", default=None, help="write results to a .json or .csv file")
+    p_resume.set_defaults(func=_cmd_resume)
 
     p_scaling = sub.add_parser("scaling", help="convergence-time scaling sweep and fit")
     p_scaling.add_argument("--process", default="push")

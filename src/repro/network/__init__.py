@@ -36,7 +36,14 @@ from repro.network.protocols import (
     resolve_protocol,
 )
 from repro.network.simulator import NetworkSimulator, SimulationStats
-from repro.network.failures import DropUniform, FailureModel, NoFailures
+from repro.network.failures import (
+    DropBurst,
+    DropUniform,
+    FailureModel,
+    FaultInjector,
+    InjectedFault,
+    NoFailures,
+)
 from repro.network.events import (
     ChurnSchedule,
     Event,
@@ -69,6 +76,9 @@ __all__ = [
     "FailureModel",
     "NoFailures",
     "DropUniform",
+    "DropBurst",
+    "FaultInjector",
+    "InjectedFault",
     "Event",
     "EventKind",
     "EventQueue",

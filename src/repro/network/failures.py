@@ -1,21 +1,39 @@
-"""Message failure models for the network simulator.
+"""Message and worker failure models for robustness experiments.
 
 The simulator asks the failure model whether each message is delivered.
 :class:`NoFailures` is the paper's (reliable, synchronous) model;
 :class:`DropUniform` drops each message independently with a fixed
 probability, supporting the robustness experiments (E11) at the protocol
-level.
+level; :class:`DropBurst` is its correlated counterpart — a two-state
+Gilbert–Elliott channel whose bad state drops whole runs of consecutive
+messages, modelling the bursty losses a flaky link actually produces.
+
+:class:`FaultInjector` targets a different layer entirely: it kills
+*worker processes* (the trial pool in :mod:`repro.simulation.runner`, the
+shard pool in :mod:`repro.simulation.sharding`) at deterministic,
+pre-registered points so the crash-tolerance machinery — pool rebuild,
+retry with backoff, degradation to in-process execution, shared-memory
+cleanup — can be exercised reproducibly in tests.
 """
 
 from __future__ import annotations
 
 import abc
+import os
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.network.message import Message
 
-__all__ = ["FailureModel", "NoFailures", "DropUniform"]
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "DropUniform",
+    "DropBurst",
+    "FaultInjector",
+    "InjectedFault",
+]
 
 
 class FailureModel(abc.ABC):
@@ -43,3 +61,105 @@ class DropUniform(FailureModel):
 
     def delivered(self, message: Message, rng: np.random.Generator) -> bool:
         return float(rng.random()) >= self.drop_prob
+
+
+class DropBurst(FailureModel):
+    """Correlated (bursty) loss: a two-state Gilbert–Elliott channel.
+
+    The channel is either *good* (every message delivered) or *bad* (every
+    message dropped) and flips state between messages: good → bad with
+    probability ``p_bad`` and bad → good with probability ``p_recover``.
+    The stationary loss rate is ``p_bad / (p_bad + p_recover)`` with mean
+    burst length ``1 / p_recover`` — unlike :class:`DropUniform`, losses
+    arrive in runs, which is what overload and route flaps look like.
+    """
+
+    def __init__(self, p_bad: float, p_recover: float) -> None:
+        if not (0.0 <= p_bad < 1.0):
+            raise ValueError(f"p_bad must be in [0, 1), got {p_bad}")
+        if not (0.0 < p_recover <= 1.0):
+            raise ValueError(f"p_recover must be in (0, 1], got {p_recover}")
+        self.p_bad = p_bad
+        self.p_recover = p_recover
+        self._bad = False
+
+    def delivered(self, message: Message, rng: np.random.Generator) -> bool:
+        flip = self.p_recover if self._bad else self.p_bad
+        if float(rng.random()) < flip:
+            self._bad = not self._bad
+        return not self._bad
+
+
+class FaultInjector:
+    """Deterministic worker-death schedule for crash-tolerance tests.
+
+    An injector is handed to a pool-running entry point
+    (``run_trials(fault_injector=...)`` or
+    ``ShardedProcess(fault_injector=...)``).  The schedule is consumed in
+    the **parent** at submit time — :meth:`take_trial` /
+    :meth:`take_shard_round` return the fault *directive* (``"exit"`` /
+    ``"raise"``) exactly ``times`` times per scheduled coordinate, and
+    ``None`` thereafter — and only the directive travels in the task
+    payload.  (Consuming worker-side would re-fire on every retry: each
+    resubmission pickles a fresh copy of the parent's counters.)  The
+    worker executes its directive via :meth:`execute` before any real
+    work runs, so an injected death costs no partial state.
+
+    ``mode="exit"`` (the default) has the worker call ``os._exit(1)`` so
+    the pool sees genuine worker death (``BrokenProcessPool``), exactly
+    what a crash or an OOM kill produces; ``mode="raise"`` raises
+    :class:`InjectedFault` instead, modelling a deterministic in-task
+    error that must *not* be retried.
+
+    Because the schedule is attempt-aware, ``times=1`` kills only the
+    first attempt: the retry draws directive ``None``, succeeds, and the
+    test can assert the recovered results equal an uninjected run's.
+    """
+
+    def __init__(self, mode: str = "exit") -> None:
+        if mode not in ("exit", "raise"):
+            raise ValueError(f"mode must be 'exit' or 'raise', got {mode!r}")
+        self.mode = mode
+        self._trials: Dict[int, int] = {}
+        self._shard_rounds: Dict[Tuple[int, int], int] = {}
+
+    def kill_trial(self, trial_index: int, times: int = 1) -> "FaultInjector":
+        """Schedule death of the worker running ``trial_index`` (first ``times`` attempts)."""
+        self._trials[int(trial_index)] = int(times)
+        return self
+
+    def kill_shard_round(self, round_index: int, shard: int = 0, times: int = 1) -> "FaultInjector":
+        """Schedule death of shard ``shard``'s worker in round ``round_index``."""
+        self._shard_rounds[(int(round_index), int(shard))] = int(times)
+        return self
+
+    def _consume(self, table: Dict, key) -> bool:
+        remaining = table.get(key, 0)
+        if remaining <= 0:
+            return False
+        table[key] = remaining - 1
+        return True
+
+    def take_trial(self, trial_index: int) -> "str | None":
+        """Parent-side: consume one scheduled attempt for ``trial_index``."""
+        if self._consume(self._trials, int(trial_index)):
+            return self.mode
+        return None
+
+    def take_shard_round(self, round_index: int, shard: int) -> "str | None":
+        """Parent-side: consume one scheduled attempt for ``(round, shard)``."""
+        if self._consume(self._shard_rounds, (int(round_index), int(shard))):
+            return self.mode
+        return None
+
+    @staticmethod
+    def execute(directive: "str | None", where: str) -> None:
+        """Worker-side: act on a directive taken by the parent (no-op on ``None``)."""
+        if directive == "exit":
+            os._exit(1)
+        if directive == "raise":
+            raise InjectedFault(f"injected fault at {where}")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``mode='raise'`` :class:`FaultInjector` in place of worker death."""

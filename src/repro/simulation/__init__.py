@@ -9,13 +9,38 @@ from repro.simulation.engine import (
     PROCESS_REGISTRY,
 )
 from repro.simulation.experiment import ExperimentSpec, SweepSpec
-from repro.simulation.runner import TrialResult, run_trials, run_sweep, summarize_trials
+from repro.simulation.runner import (
+    TrialExecutionError,
+    TrialResult,
+    run_trials,
+    run_sweep,
+    summarize_trials,
+)
 from repro.simulation.sharding import ShardPlan, ShardedProcess
+from repro.simulation.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    TrialCheckpoint,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_process,
+    resume_from_checkpoint,
+    save_checkpoint,
+)
 from repro.simulation import stats, bounds, io, plotting
 
 __all__ = [
     "ShardPlan",
     "ShardedProcess",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "TrialCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_process",
+    "resume_from_checkpoint",
+    "latest_checkpoint",
+    "TrialExecutionError",
     "io",
     "plotting",
     "SeedSequenceFactory",

@@ -10,6 +10,7 @@ one-call entry point used by most experiments.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -153,6 +154,8 @@ def measure_convergence_rounds(
     shards: int = 1,
     shard_seed: Union[int, np.random.SeedSequence, None] = None,
     shard_parallel: Optional[bool] = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Union[str, "os.PathLike", None] = None,
     **kwargs,
 ) -> RunResult:
     """Build the named process over (a copy of) ``graph`` and run it to convergence.
@@ -163,6 +166,11 @@ def measure_convergence_rounds(
     the seeded result is identical to the list backend's.  ``shards > 1``
     additionally routes each round through the sharded engine (see
     :func:`make_process`).
+
+    ``checkpoint_every=k`` with ``checkpoint_dir`` writes an exact
+    checkpoint (``round_<index>`` stem) after every ``k``-th completed
+    round; an interrupted run can then be continued draw-for-draw with
+    :func:`repro.simulation.checkpoint.resume_from_checkpoint`.
     """
     work_graph = graph.copy() if copy_graph else graph
     process = make_process(
@@ -176,8 +184,16 @@ def measure_convergence_rounds(
         shard_parallel=shard_parallel,
         **kwargs,
     )
+    callbacks = ()
+    if checkpoint_every:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        # Imported lazily: checkpoint sits one layer above the engine.
+        from repro.simulation.checkpoint import periodic_checkpointer
+
+        callbacks = (periodic_checkpointer(checkpoint_dir, checkpoint_every),)
     try:
-        return run_process(process, max_rounds=max_rounds)
+        return process.run_to_convergence(max_rounds=max_rounds, callbacks=callbacks)
     finally:
         close = getattr(process, "close", None)
         if close is not None:

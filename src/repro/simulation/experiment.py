@@ -62,6 +62,13 @@ class ExperimentSpec:
     shard_parallel:
         ``True``/``False`` force the process-pool / in-process sharded
         path; ``None`` (default) selects by graph size.
+    checkpoint_every:
+        When > 0 (and ``checkpoint_dir`` is set), each trial writes an
+        exact checkpoint every this-many rounds under
+        ``<checkpoint_dir>/trial_<index>/`` so interrupted sweeps can be
+        resumed draw-for-draw (see :mod:`repro.simulation.checkpoint`).
+    checkpoint_dir:
+        Root directory for per-trial checkpoints.
     label:
         Free-form tag used in result tables.
     """
@@ -77,6 +84,8 @@ class ExperimentSpec:
     backend: str = "list"
     shards: int = 1
     shard_parallel: Optional[bool] = field(default=None, compare=False)
+    checkpoint_every: int = 0
+    checkpoint_dir: Optional[str] = field(default=None, compare=False)
     label: str = ""
 
     def build_graph(

@@ -5,18 +5,29 @@ harness persist their row tables (lists of flat dicts) and run traces so
 analyses can be re-plotted without re-simulating.  Only standard-library
 formats are used — JSON for nested payloads, CSV for flat row tables — so
 saved results remain readable without this package.
+
+All writers are atomic: content is staged to a temporary file in the
+target directory and moved into place with ``os.replace``, so a crash
+mid-write leaves either the old file or the new one, never a truncated
+hybrid.  ``load_trace`` validates its input and reports truncated or
+non-trace JSON explicitly instead of surfacing a bare ``KeyError``.
 """
 
 from __future__ import annotations
 
 import csv
+import io as _io
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.simulation.trace import RunTrace
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
     "save_rows_json",
     "load_rows_json",
     "save_rows_csv",
@@ -28,8 +39,27 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def _ensure_parent(path: Path) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (same-dir temp file + ``os.replace``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return target
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: Optional[Dict] = None) -> Path:
@@ -39,11 +69,8 @@ def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: 
     the natural place for the seed, sizes and process name that produced
     the rows.
     """
-    target = Path(path)
-    _ensure_parent(target)
     payload = {"metadata": dict(metadata or {}), "rows": [dict(r) for r in rows]}
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
-    return target
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
 def load_rows_json(path: PathLike) -> Dict[str, object]:
@@ -53,22 +80,19 @@ def load_rows_json(path: PathLike) -> Dict[str, object]:
 
 def save_rows_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
     """Save a row table as CSV (columns = union of keys, in first-seen order)."""
-    target = Path(path)
-    _ensure_parent(target)
     if not rows:
-        target.write_text("")
-        return target
+        return atomic_write_text(path, "")
     columns: List[str] = []
     for row in rows:
         for key in row:
             if key not in columns:
                 columns.append(key)
-    with target.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
-    return target
+    buffer = _io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def load_rows_csv(path: PathLike) -> List[Dict[str, str]]:
@@ -79,16 +103,29 @@ def load_rows_csv(path: PathLike) -> List[Dict[str, str]]:
 
 def save_trace(trace: RunTrace, path: PathLike, metadata: Optional[Dict] = None) -> Path:
     """Save a :class:`RunTrace` (plus metadata) as JSON."""
-    target = Path(path)
-    _ensure_parent(target)
     payload = {"metadata": dict(metadata or {}), "trace": trace.as_dict()}
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return target
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_trace(path: PathLike) -> RunTrace:
-    """Load a :class:`RunTrace` saved by :func:`save_trace`."""
-    payload = json.loads(Path(path).read_text())
+    """Load a :class:`RunTrace` saved by :func:`save_trace`.
+
+    Raises ``ValueError`` naming the file when the JSON is truncated or
+    invalid, or when it parses but lacks the ``"trace"`` payload — both
+    symptoms of an interrupted or foreign write.
+    """
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{source} does not contain valid JSON (truncated or corrupt "
+            f"write?): {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "trace" not in payload:
+        raise ValueError(
+            f"{source} is valid JSON but not a saved trace (no 'trace' key)"
+        )
     data = payload["trace"]
     trace = RunTrace(
         rounds=list(data.get("rounds", [])),

@@ -37,6 +37,18 @@ round-start arrays (neighbour rows, degrees, packed membership) published
 through :mod:`multiprocessing.shared_memory` so workers never pickle the
 O(n²) state.
 
+The pool path is crash-tolerant: worker death
+(:class:`~concurrent.futures.process.BrokenProcessPool`) discards the
+broken pool and **retries the round** on a fresh one with capped
+exponential backoff — safe because the round's uniforms derive from
+``(entropy, round_index)``, not from pool state, so a retried round is
+draw-for-draw identical to the attempt that died.  After ``retries``
+failed attempts within a round the process degrades permanently to
+in-process sharded execution (identical semantics, no pool).  Every
+failure path — retry, degradation, or a propagating worker exception —
+releases the published shared-memory blocks, so no segment outlives the
+round that created it.
+
 Per-shard RNG convention (the trace contract)
 ---------------------------------------------
 ``shards=1`` never enters this module's round path: it delegates straight
@@ -66,8 +78,11 @@ above, exactly as pinned by ``tests/test_sharding.py``.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -91,7 +106,10 @@ __all__ = [
     "ShardedProcess",
     "SHARDABLE_PROCESSES",
     "DEFAULT_PARALLEL_THRESHOLD",
+    "DEFAULT_SHARD_RETRIES",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: process classes with a registered sharded propose kernel (exact types —
 #: subclasses may customise ``propose`` and must opt in explicitly).  This
@@ -113,6 +131,13 @@ _ROWBLOCK_KINDS = frozenset({"flooding", "name_dropper", "pointer_jump"})
 #: below this n the per-round process-pool round-trip costs more than the
 #: round itself; the auto mode stays in-process.
 DEFAULT_PARALLEL_THRESHOLD = 2048
+
+#: pool-death retries per round before degrading to in-process execution
+DEFAULT_SHARD_RETRIES = 3
+
+#: backoff after the k-th pool failure is BASE * 2**(k-1), capped
+_BACKOFF_BASE_SECONDS = 0.05
+_BACKOFF_CAP_SECONDS = 2.0
 
 #: uniform stages per round for the RNG-driven kernels (two hops / two
 #: endpoints; the single-draw payload rounds consume stage 0 only, which
@@ -335,6 +360,15 @@ def _shard_task(payload: dict):
     Returns fresh (non-shared) arrays only, because the shared-memory
     views are closed before the result is pickled back.
     """
+    directive = payload.get("fault")
+    if directive is not None:
+        # Executed before any shared memory is attached, so an injected
+        # "exit" death leaves no worker-side references behind.
+        from repro.network.failures import FaultInjector
+
+        FaultInjector.execute(
+            directive, f"shard {payload['shard']} of round {payload['round_index']}"
+        )
     refs: list = []
     try:
         nbr = _attach(payload["nbr"], refs)
@@ -381,13 +415,33 @@ class _SharedBlock:
         return self.shm.name, array.shape, array.dtype.str
 
     def release(self) -> None:
-        if self.shm is not None:
+        """Close and unlink the segment; never silent — failures are logged.
+
+        Unlink is the step that actually frees the kernel object; when it
+        fails for any reason other than "already gone", the segment name
+        is logged so a leak is attributable instead of invisible.
+        """
+        if self.shm is None:
+            return
+        name = self.shm.name
+        try:
             self.shm.close()
-            try:
-                self.shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        except OSError as exc:  # pragma: no cover - close failure is exotic
+            logger.warning("closing shared-memory segment %s failed: %s", name, exc)
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        except OSError as exc:  # pragma: no cover - unlink failure is exotic
+            logger.warning(
+                "unlinking shared-memory segment %s failed: %s (segment may leak)",
+                name,
+                exc,
+            )
+        finally:
             self.shm = None
+            self.shape = None
+            self.dtype = None
 
 
 class ShardedProcess:
@@ -421,6 +475,14 @@ class ShardedProcess:
     parallel_threshold:
         The auto-mode cutover size (default
         :data:`DEFAULT_PARALLEL_THRESHOLD`).
+    retries:
+        Worker-pool deaths tolerated per round before degrading
+        permanently to in-process sharded execution (default
+        :data:`DEFAULT_SHARD_RETRIES`).  Retries are draw-for-draw safe:
+        the round's uniforms derive from ``(entropy, round_index)``.
+    fault_injector:
+        Test hook: a :class:`repro.network.failures.FaultInjector` whose
+        scheduled ``(round, shard)`` faults fire inside pool workers.
     """
 
     def __init__(
@@ -430,6 +492,8 @@ class ShardedProcess:
         seed: Union[int, np.random.SeedSequence, None] = None,
         parallel: Optional[bool] = None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        retries: int = DEFAULT_SHARD_RETRIES,
+        fault_injector=None,
     ) -> None:
         kind = SHARDABLE_PROCESSES.get(type(process))
         if kind is None:
@@ -476,6 +540,10 @@ class ShardedProcess:
         self._parallel = bool(parallel) and self.shards > 1
         self._pool: Optional[ProcessPoolExecutor] = None
         self._blocks: Dict[str, _SharedBlock] = {}
+        self._retries = int(retries)
+        self._fault_injector = fault_injector
+        #: cumulative worker-pool deaths survived (observability/tests)
+        self.pool_failures = 0
 
     # ------------------------------------------------------------------ #
     # the sharded round
@@ -502,8 +570,45 @@ class ShardedProcess:
         return state
 
     def _run_shards(self, u: Optional[np.ndarray]) -> List:
-        if self._parallel:
-            return self._run_shards_parallel()
+        attempts = 0
+        while self._parallel:
+            try:
+                return self._run_shards_parallel()
+            except BrokenProcessPool:
+                # Worker death (crash, OOM kill, injected fault).  Discard
+                # the broken pool and retry the round — the uniforms derive
+                # from (entropy, round_index), so the retry replays the dead
+                # attempt draw-for-draw.
+                self._discard_pool()
+                self.pool_failures += 1
+                attempts += 1
+                if attempts > self._retries:
+                    logger.warning(
+                        "shard pool died %d times in round %d; degrading to "
+                        "in-process sharded execution",
+                        attempts,
+                        self.process.round_index,
+                    )
+                    self._release_blocks()
+                    self._parallel = False
+                    break
+                logger.warning(
+                    "shard pool died in round %d (attempt %d/%d); rebuilding",
+                    self.process.round_index,
+                    attempts,
+                    self._retries + 1,
+                )
+                time.sleep(
+                    min(
+                        _BACKOFF_BASE_SECONDS * (2 ** (attempts - 1)),
+                        _BACKOFF_CAP_SECONDS,
+                    )
+                )
+            except BaseException:
+                # A deterministic worker exception (not worker death) must
+                # propagate — but never with live shared-memory segments.
+                self.close()
+                raise
         nbr, deg, bits = self._round_state()
         wor = bool(getattr(self.process, "without_replacement", False))
         return [
@@ -531,11 +636,28 @@ class ShardedProcess:
             )
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.shards)
-        futures = [
-            self._pool.submit(_shard_task, {**base, "lo": lo, "hi": hi})
-            for lo, hi in self.plan.bounds
-        ]
+        futures = []
+        for shard, (lo, hi) in enumerate(self.plan.bounds):
+            payload = {**base, "lo": lo, "hi": hi, "shard": shard}
+            if self._fault_injector is not None:
+                directive = self._fault_injector.take_shard_round(
+                    self.process.round_index, shard
+                )
+                if directive is not None:
+                    payload["fault"] = directive
+            futures.append(self._pool.submit(_shard_task, payload))
         return [f.result() for f in futures]
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool without waiting on dead workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _release_blocks(self) -> None:
+        for block in self._blocks.values():
+            block.release()
+        self._blocks.clear()
 
     def _publish(self, key: str, array: np.ndarray) -> Tuple[str, tuple, str]:
         block = self._blocks.setdefault(key, _SharedBlock())
@@ -719,13 +841,21 @@ class ShardedProcess:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut the worker pool down and release the shared-memory blocks."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for block in self._blocks.values():
-            block.release()
-        self._blocks.clear()
+        """Shut the worker pool down and release the shared-memory blocks.
+
+        Block release runs even when the pool shutdown raises: the
+        segments are the resource the kernel will not reclaim on its own.
+        """
+        try:
+            # getattr: close() must work on a partially-constructed instance
+            # (the constructor validates before creating these slots).
+            pool = getattr(self, "_pool", None)
+            if pool is not None:
+                pool.shutdown(wait=True)
+                self._pool = None
+        finally:
+            if getattr(self, "_blocks", None) is not None:
+                self._release_blocks()
 
     def __enter__(self) -> "ShardedProcess":
         return self
@@ -736,8 +866,17 @@ class ShardedProcess:
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            # Finalizer context: never raise, but never hide a failed
+            # cleanup either — a leaked segment must be attributable.
+            try:
+                logger.warning(
+                    "ShardedProcess finalizer cleanup failed (%s); a "
+                    "shared-memory segment may have leaked",
+                    exc,
+                )
+            except Exception:
+                pass  # logging machinery already torn down at interpreter exit
 
     def __repr__(self) -> str:
         mode = "process-pool" if self._parallel else "in-process"

@@ -47,6 +47,25 @@ class TestRowPersistence:
         loaded = sim_io.load_rows_csv(path)
         assert set(loaded[0]) == {"a", "b"}
 
+    def test_atomic_write_replaces_not_truncates(self, tmp_path):
+        """An overwrite leaves either the old or the new content, never a mix."""
+        path = tmp_path / "rows.json"
+        sim_io.save_rows_json(self.ROWS, path)
+        before = path.read_text()
+        sim_io.save_rows_json(self.ROWS * 10, path)
+        after = path.read_text()
+        assert json.loads(after)["rows"] == self.ROWS * 10
+        assert len(after) > len(before)
+        # staging files are cleaned up
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_atomic_write_helpers(self, tmp_path):
+        target = sim_io.atomic_write_text(tmp_path / "deep" / "a.txt", "payload")
+        assert target.read_text() == "payload"
+        sim_io.atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+        assert list((tmp_path / "deep").glob("*.tmp")) == []
+
 
 class TestTracePersistence:
     def test_trace_roundtrip(self, tmp_path):
@@ -59,6 +78,24 @@ class TestTracePersistence:
         assert loaded.rounds == recorder.trace.rounds
         assert loaded.num_edges == recorder.trace.num_edges
         assert loaded.custom["mean_deg"] == recorder.trace.custom["mean_deg"]
+
+    def test_load_trace_truncated_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        g = gen.cycle_graph(6)
+        proc = PushDiscovery(g, rng=0)
+        recorder = TraceRecorder()
+        proc.run(3, callbacks=[recorder])
+        sim_io.save_trace(recorder.trace, path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            sim_io.load_trace(path)
+
+    def test_load_trace_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"metadata": {}}))
+        with pytest.raises(ValueError, match="not a saved trace"):
+            sim_io.load_trace(path)
 
 
 class TestSparkline:
