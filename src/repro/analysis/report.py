@@ -111,8 +111,10 @@ class ReportBuilder:
         return "\n\n".join(parts) + "\n"
 
     def write(self, path: Union[str, Path]) -> Path:
-        """Write the rendered report to ``path`` and return the path."""
+        """Write the rendered report to ``path`` atomically and return the path."""
+        from repro.simulation.io import atomic_write_text
+
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.render())
+        atomic_write_text(target, self.render())
         return target

@@ -11,7 +11,7 @@ quantities and by the analysis layer for diagnostics.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -142,7 +142,7 @@ def lemma2_empirical_quantile(
     k: Optional[int] = None,
     trials: int = 200,
     c: float = 1.0,
-    rng: Optional[np.random.Generator] = None,
+    rng: Union[np.random.Generator, int, None] = None,
 ) -> Tuple[float, float]:
     """Simulate the Lemma-2 experiment sequence and check the tail bound.
 
@@ -151,12 +151,23 @@ def lemma2_empirical_quantile(
     geometric waiting times, and returns ``(fraction_exceeding_bound,
     bound)`` where ``bound = (c+1)·m·ln m``.  Lemma 2 promises the fraction
     is below ``1/m^c`` (so effectively 0 for the sizes used in tests).
+
+    ``rng`` must be an explicit ``np.random.Generator`` or integer seed —
+    the Monte-Carlo estimate is part of the replayable record, so there is
+    no unseeded fallback.
     """
     if k is None:
         k = m
     if not (1 <= k <= m):
         raise ValueError("need 1 <= k <= m")
-    rng = rng if rng is not None else np.random.default_rng()
+    if rng is None:
+        raise ValueError(
+            "lemma2_empirical_quantile requires an explicit rng (a "
+            "np.random.Generator or an integer seed); unseeded runs are not "
+            "replayable"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
     bound = lemma2_round_bound(m, c)
     probabilities = np.arange(1, k + 1) / float(m)
     exceed = 0

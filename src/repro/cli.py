@@ -28,7 +28,11 @@ from repro.analysis.nonmonotonicity import (
 )
 from repro.analysis.scaling import measure_scaling
 from repro.graphs import generators
+from repro.graphs.directed_generators import directed_family_names
+from repro.graphs.generators import family_names
+from repro.network.protocols import protocol_names
 from repro.simulation import io as sim_io
+from repro.simulation.engine import process_names
 from repro.simulation.experiment import ExperimentSpec
 from repro.simulation.runner import run_trials, summarize_trials
 from repro.social.group_discovery import discover_group
@@ -309,8 +313,29 @@ def _cmd_async(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.quality import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.rules:
+        argv += ["--rules", *args.rules]
+    if args.no_registry:
+        argv.append("--no-registry")
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv += ["--format", args.format]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser (exposed for tests)."""
+    """Build the argument parser (exposed for tests).
+
+    Every ``--process``/``--family``/``--protocol`` option derives its
+    ``choices=`` from the live registries, so registering a new process or
+    family surfaces it here automatically — and the repro-lint
+    ``registry-consistency`` checker cross-checks exactly that coupling.
+    """
+    all_families = sorted(set(family_names()) | set(directed_family_names()))
     parser = argparse.ArgumentParser(
         prog="repro-gossip",
         description="Run the 'Discovery through Gossip' reproduction experiments.",
@@ -318,8 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one process on one graph family")
-    p_run.add_argument("--process", default="push")
-    p_run.add_argument("--family", default="cycle")
+    p_run.add_argument("--process", default="push", choices=process_names())
+    p_run.add_argument("--family", default="cycle", choices=all_families)
     p_run.add_argument("--n", type=int, default=64)
     p_run.add_argument("--trials", type=int, default=3)
     p_run.add_argument("--seed", type=int, default=None)
@@ -392,8 +417,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.set_defaults(func=_cmd_resume)
 
     p_scaling = sub.add_parser("scaling", help="convergence-time scaling sweep and fit")
-    p_scaling.add_argument("--process", default="push")
-    p_scaling.add_argument("--family", default="cycle")
+    p_scaling.add_argument("--process", default="push", choices=process_names())
+    p_scaling.add_argument("--family", default="cycle", choices=all_families)
     p_scaling.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
     p_scaling.add_argument("--trials", type=int, default=3)
     p_scaling.add_argument("--seed", type=int, default=None)
@@ -417,16 +442,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_scaling.set_defaults(func=_cmd_scaling)
 
     p_nm = sub.add_parser("nonmonotone", help="Figure 1(c) non-monotonicity check")
-    p_nm.add_argument("--process", default="push")
+    # The exact-E[T] Markov computation is implemented for push and pull only.
+    p_nm.add_argument("--process", default="push", choices=["push", "pull"])
     p_nm.add_argument("--trials", type=int, default=2000)
     p_nm.add_argument("--seed", type=int, default=None)
     p_nm.set_defaults(func=_cmd_nonmonotone)
 
     p_group = sub.add_parser("group", help="group (subset) discovery scenario")
-    p_group.add_argument("--host-family", default="barabasi_albert")
+    p_group.add_argument("--host-family", default="barabasi_albert", choices=family_names())
     p_group.add_argument("--host-n", type=int, default=256)
     p_group.add_argument("--k", type=int, default=24)
-    p_group.add_argument("--process", default="push")
+    p_group.add_argument("--process", default="push", choices=process_names())
     p_group.add_argument("--seed", type=int, default=None)
     p_group.add_argument(
         "--backend",
@@ -437,7 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_group.set_defaults(func=_cmd_group)
 
     p_dir = sub.add_parser("directed", help="directed two-hop walk scaling sweep")
-    p_dir.add_argument("--family", default="random_strong")
+    p_dir.add_argument("--family", default="random_strong", choices=directed_family_names())
     p_dir.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 24])
     p_dir.add_argument("--trials", type=int, default=3)
     p_dir.add_argument("--seed", type=int, default=None)
@@ -461,8 +487,8 @@ def build_parser() -> argparse.ArgumentParser:
         "async",
         help="event-driven run: per-message latency, loss, churn, liveness pings",
     )
-    p_async.add_argument("--protocol", default="push", choices=["push", "pull", "name_dropper"])
-    p_async.add_argument("--family", default="cycle")
+    p_async.add_argument("--protocol", default="push", choices=protocol_names())
+    p_async.add_argument("--family", default="cycle", choices=family_names())
     p_async.add_argument("--n", type=int, default=64)
     p_async.add_argument("--seed", type=int, default=None)
     p_async.add_argument("--max-ticks", type=int, default=5000)
@@ -495,6 +521,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_async.add_argument("--save", default=None, help="write results to a .json or .csv file")
     p_async.set_defaults(func=_cmd_async)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="repro-lint: determinism & resource-safety static analysis",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--rules", nargs="+", default=None, help="run only these rule ids"
+    )
+    p_lint.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the registry-consistency cross-check",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -14,7 +14,7 @@ DAGs, complete digraphs) support the O(n² log n) upper-bound sweeps.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -39,8 +39,25 @@ __all__ = [
 ]
 
 
-def _ensure_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng()
+def _ensure_rng(
+    rng: Union[np.random.Generator, np.random.SeedSequence, int, None],
+) -> np.random.Generator:
+    """Coerce an explicit seed source to a ``Generator``; reject ``None``.
+
+    Same explicit-seed contract as the undirected families: an unseeded
+    fallback would silently void trace replayability (repro-lint
+    ``determinism`` rule), so fresh entropy must be requested explicitly
+    with ``default_rng(None)`` at the call site.
+    """
+    if rng is None:
+        raise ValueError(
+            "random directed families require an explicit rng (np.random."
+            "Generator, SeedSequence or integer seed); an unseeded graph "
+            "cannot be replayed"
+        )
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
 
 
 # --------------------------------------------------------------------------- #

@@ -18,7 +18,7 @@ The paper-specific constructions are:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -256,8 +256,25 @@ def nonmonotone_supergraph_pair() -> Tuple[DynamicGraph, DynamicGraph]:
 # --------------------------------------------------------------------------- #
 # random families
 # --------------------------------------------------------------------------- #
-def _ensure_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng()
+def _ensure_rng(
+    rng: Union[np.random.Generator, np.random.SeedSequence, int, None],
+) -> np.random.Generator:
+    """Coerce an explicit seed source to a ``Generator``; reject ``None``.
+
+    Random families feed seeded experiment traces, so an unseeded fallback
+    here would silently void replayability (the repro-lint ``determinism``
+    rule).  Callers that genuinely want fresh entropy must say so:
+    ``default_rng(None)`` at the call site.
+    """
+    if rng is None:
+        raise ValueError(
+            "random graph families require an explicit rng (np.random."
+            "Generator, SeedSequence or integer seed); an unseeded graph "
+            "cannot be replayed"
+        )
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
 
 
 def erdos_renyi_graph(

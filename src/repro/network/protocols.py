@@ -59,6 +59,7 @@ __all__ = [
     "PushProtocol",
     "PullProtocol",
     "NameDropperProtocol",
+    "protocol_names",
     "resolve_protocol",
 ]
 
@@ -295,6 +296,11 @@ _PROTOCOLS = {
     "pull": PullProtocol,
     "name_dropper": NameDropperProtocol,
 }
+
+
+def protocol_names() -> List[str]:
+    """All registered protocol names (the CLI ``--protocol`` choices)."""
+    return sorted(_PROTOCOLS)
 
 
 def resolve_protocol(protocol) -> GossipProtocol:

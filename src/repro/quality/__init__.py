@@ -1,0 +1,29 @@
+"""repro-lint: determinism & resource-safety static analysis.
+
+Run it as ``python -m repro.quality [paths...]`` or via the CLI
+subcommand ``repro-gossip lint``.  Library entry point:
+:func:`run_lint`.  See ``docs/linting.md`` for the rule catalogue,
+pragma syntax and the recipe for adding a checker.
+"""
+
+from repro.quality.framework import (
+    CHECKER_REGISTRY,
+    Checker,
+    FileContext,
+    Finding,
+    lint_text,
+    main,
+    register_checker,
+    run_lint,
+)
+
+__all__ = [
+    "CHECKER_REGISTRY",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "lint_text",
+    "main",
+    "register_checker",
+    "run_lint",
+]

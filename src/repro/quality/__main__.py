@@ -1,0 +1,8 @@
+"""``python -m repro.quality`` — run repro-lint from the shell."""
+
+import sys
+
+from repro.quality.framework import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,488 @@
+"""The repro-lint framework: checker registry, pragmas, findings, runner.
+
+The reproduction's guarantees — draw-for-draw backend equivalence,
+deterministic sharding per ``(seed, k)``, exact checkpoint/resume, atomic
+result files — rest on code discipline that a test suite can only sample.
+This module turns that discipline into *static* rules: each
+:class:`Checker` closes one bug class over the whole source tree, every
+run, before any test executes.
+
+Architecture
+------------
+* :class:`Finding` — one structured report: ``(path, line, rule, message)``.
+* :class:`Checker` — base class.  File-scope checkers receive a parsed
+  :class:`FileContext` per source file; project-scope checkers (``scope =
+  "project"``) run once per lint invocation and cross-check live state
+  (e.g. the process/family registries).
+* :data:`CHECKER_REGISTRY` / :func:`register_checker` — rule-id keyed
+  plugin registry.  Adding a checker is: subclass, set ``rule_id`` and
+  ``description``, decorate with ``@register_checker``.
+* Suppression — a ``# repro-lint: allow[rule-id]`` comment suppresses
+  findings of that rule on its own line; a comment-only line suppresses
+  the *next* line (for constructs too long to annotate in place).  Every
+  suppression must name rule ids; malformed, unknown-rule and *unused*
+  pragmas are themselves findings (rule ``pragma``), so stale
+  suppressions cannot accumulate.
+
+Entry points: :func:`run_lint` (library), :func:`main` (``python -m
+repro.quality`` and the ``repro-gossip lint`` subcommand).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Checker",
+    "CHECKER_REGISTRY",
+    "register_checker",
+    "run_lint",
+    "lint_text",
+    "main",
+    "PRAGMA_RULE",
+    "PARSE_RULE",
+]
+
+#: rule id for pragma-syntax findings (malformed / unknown-rule / unused)
+PRAGMA_RULE = "pragma"
+#: rule id for files the linter cannot parse
+PARSE_RULE = "parse"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*(?P<verb>[A-Za-z-]+)\s*(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured lint report, sortable into canonical (path, line) order."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the ``--format json`` payload)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a file-scope checker needs about one source file."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+
+
+class Checker:
+    """Base class for repro-lint rules.
+
+    Subclasses set :attr:`rule_id` (the pragma-addressable identifier) and
+    :attr:`description`, then implement :meth:`check_file` (``scope =
+    "file"``, the default) or :meth:`check_project` (``scope =
+    "project"``).  :meth:`applies_to` lets a rule exempt whole paths (the
+    layer that legitimately owns the banned construct).
+    """
+
+    rule_id: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    scope: ClassVar[str] = "file"
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule runs on ``path`` (``True`` unless overridden)."""
+        return True
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed source file (file-scope rules)."""
+        return iter(())
+
+    def check_project(self, root: Optional[Path]) -> Iterator[Finding]:
+        """Yield findings for the project as a whole (project-scope rules)."""
+        return iter(())
+
+    def finding(self, ctx_or_path: object, line: int, message: str) -> Finding:
+        """Build a finding carrying this checker's rule id."""
+        display = (
+            ctx_or_path.display
+            if isinstance(ctx_or_path, FileContext)
+            else str(ctx_or_path)
+        )
+        return Finding(path=display, line=line, rule=self.rule_id, message=message)
+
+
+#: rule id -> checker class.  Populated by :func:`register_checker`.
+CHECKER_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: add ``cls`` to :data:`CHECKER_REGISTRY` by rule id."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define a non-empty rule_id")
+    if cls.rule_id in (PRAGMA_RULE, PARSE_RULE):
+        raise ValueError(f"rule id {cls.rule_id!r} is reserved by the framework")
+    existing = CHECKER_REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule id {cls.rule_id!r} already registered by {existing.__name__}"
+        )
+    CHECKER_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+# --------------------------------------------------------------------------- #
+# suppression pragmas
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Pragma:
+    """One parsed ``allow[...]`` pragma: where it sits, what it suppresses."""
+
+    comment_line: int
+    target_line: int
+    rules: Tuple[str, ...]
+    used: Set[str] = field(default_factory=set)
+
+
+class PragmaSheet:
+    """Per-file suppression state: parsed pragmas plus their own findings.
+
+    ``allow`` maps a target line to the rule ids suppressed there; usage
+    is tracked per pragma so stale suppressions surface as ``pragma``
+    findings after the file's checkers have run.
+    """
+
+    def __init__(self, display: str, source: str) -> None:
+        self.display = display
+        self.pragmas: List[_Pragma] = []
+        self.syntax_findings: List[Finding] = []
+        self._parse(source)
+
+    def _parse(self, source: str) -> None:
+        lines = source.splitlines()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # the parse-rule finding already covers unreadable files
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            # Only the tool name followed by a colon is pragma syntax;
+            # prose that merely mentions repro-lint is not parsed.
+            if re.search(r"repro-lint\s*:", tok.string) is None:
+                continue
+            row = tok.start[0]
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None or match.group("verb") != "allow" or not match.group("rules"):
+                self.syntax_findings.append(
+                    Finding(
+                        path=self.display,
+                        line=row,
+                        rule=PRAGMA_RULE,
+                        message=(
+                            "malformed repro-lint pragma (expected "
+                            "'# repro-lint: allow[rule-id]'): " + tok.string.strip()
+                        ),
+                    )
+                )
+                continue
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            unknown = [r for r in rules if r not in CHECKER_REGISTRY]
+            for rule in unknown:
+                self.syntax_findings.append(
+                    Finding(
+                        path=self.display,
+                        line=row,
+                        rule=PRAGMA_RULE,
+                        message=(
+                            f"pragma names unknown rule {rule!r}; registered rules: "
+                            f"{sorted(CHECKER_REGISTRY)}"
+                        ),
+                    )
+                )
+            rules = tuple(r for r in rules if r in CHECKER_REGISTRY)
+            if not rules:
+                continue
+            # A comment-only line suppresses the next physical line.
+            prefix = lines[row - 1][: tok.start[1]] if row - 1 < len(lines) else ""
+            target = row + 1 if not prefix.strip() else row
+            self.pragmas.append(_Pragma(comment_line=row, target_line=target, rules=rules))
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Drop findings a pragma suppresses, marking those pragmas used."""
+        kept: List[Finding] = []
+        for finding in findings:
+            suppressed = False
+            for pragma in self.pragmas:
+                if pragma.target_line == finding.line and finding.rule in pragma.rules:
+                    pragma.used.add(finding.rule)
+                    suppressed = True
+            if not suppressed:
+                kept.append(finding)
+        return kept
+
+    def unused_findings(self, active_rules: Set[str]) -> List[Finding]:
+        """``pragma`` findings for every suppression that suppressed nothing.
+
+        Only rules in ``active_rules`` are judged — a pragma for a rule
+        that was not selected this run cannot be called stale.
+        """
+        stale: List[Finding] = []
+        for pragma in self.pragmas:
+            for rule in pragma.rules:
+                if rule in active_rules and rule not in pragma.used:
+                    stale.append(
+                        Finding(
+                            path=self.display,
+                            line=pragma.comment_line,
+                            rule=PRAGMA_RULE,
+                            message=(
+                                f"unused suppression: no {rule!r} finding on line "
+                                f"{pragma.target_line} to allow (stale pragma?)"
+                            ),
+                        )
+                    )
+        return stale
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+def _iter_python_files(paths: Sequence[object]) -> Iterator[Path]:
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(str(raw))
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _make_checkers(rules: Optional[Sequence[str]]) -> List[Checker]:
+    if rules is None:
+        selected = sorted(CHECKER_REGISTRY)
+    else:
+        unknown = sorted(set(rules) - set(CHECKER_REGISTRY))
+        if unknown:
+            raise KeyError(
+                f"unknown lint rule(s) {unknown}; registered: {sorted(CHECKER_REGISTRY)}"
+            )
+        selected = list(dict.fromkeys(rules))
+    return [CHECKER_REGISTRY[rule]() for rule in selected]
+
+
+def run_lint(
+    paths: Sequence[object],
+    rules: Optional[Sequence[str]] = None,
+    include_project: bool = True,
+    project_root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint ``paths`` (files or directories) and return unsuppressed findings.
+
+    ``rules`` selects a subset of :data:`CHECKER_REGISTRY` (default: all).
+    ``include_project=False`` skips project-scope checkers (the registry
+    cross-check), which is what fixture-corpus tests want.  Findings come
+    back sorted by ``(path, line, rule)``; an empty list is a clean run.
+    """
+    # Importing registers the built-in checkers exactly once.
+    from repro.quality import checkers as _checkers  # noqa: F401
+
+    checker_objs = _make_checkers(rules)
+    file_checkers = [c for c in checker_objs if c.scope == "file"]
+    project_checkers = [c for c in checker_objs if c.scope == "project"]
+
+    findings: List[Finding] = []
+    sheets: Dict[str, PragmaSheet] = {}
+
+    for path in _iter_python_files(paths):
+        display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(display, 1, PARSE_RULE, f"cannot read file: {exc}")
+            )
+            continue
+        sheet = PragmaSheet(display, source)
+        sheets[display] = sheet
+        findings.extend(sheet.syntax_findings)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(display, exc.lineno or 1, PARSE_RULE, f"syntax error: {exc.msg}")
+            )
+            continue
+        ctx = FileContext(path=path, display=display, source=source, tree=tree)
+        raw: List[Finding] = []
+        for checker in file_checkers:
+            if checker.applies_to(path):
+                raw.extend(checker.check_file(ctx))
+        findings.extend(sheet.filter(raw))
+
+    if include_project:
+        for checker in project_checkers:
+            project_findings = list(checker.check_project(project_root))
+            for finding in project_findings:
+                sheet = sheets.get(finding.path)
+                if sheet is None:
+                    # Anchor file was not part of this lint run: load its
+                    # pragmas for suppression but do not judge them stale.
+                    anchor = Path(finding.path)
+                    try:
+                        sheet = PragmaSheet(finding.path, anchor.read_text(encoding="utf-8"))
+                    except OSError:
+                        findings.append(finding)
+                        continue
+                kept = sheet.filter([finding])
+                findings.extend(kept)
+
+    # Stale-suppression sweep over the files we actually linted, judging
+    # only the rules that actually ran.
+    active_rules = {c.rule_id for c in file_checkers}
+    if include_project:
+        active_rules |= {c.rule_id for c in project_checkers}
+    for sheet in sheets.values():
+        findings.extend(sheet.unused_findings(active_rules))
+
+    return sorted(findings)
+
+
+def lint_text(
+    source: str,
+    display: str = "<memory>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a source string with the file-scope rules (test/tooling helper)."""
+    from repro.quality import checkers as _checkers  # noqa: F401
+
+    checker_objs = [c for c in _make_checkers(rules) if c.scope == "file"]
+    findings: List[Finding] = []
+    sheet = PragmaSheet(display, source)
+    findings.extend(sheet.syntax_findings)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(display, exc.lineno or 1, PARSE_RULE, f"syntax error: {exc.msg}")
+        )
+        return sorted(findings)
+    ctx = FileContext(path=Path(display), display=display, source=source, tree=tree)
+    raw: List[Finding] = []
+    for checker in checker_objs:
+        if checker.applies_to(Path(display)):
+            raw.extend(checker.check_file(ctx))
+    findings.extend(sheet.filter(raw))
+    findings.extend(sheet.unused_findings({c.rule_id for c in checker_objs}))
+    return sorted(findings)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def _default_paths() -> List[str]:
+    import repro
+
+    package_file = repro.__file__
+    if package_file is None:  # pragma: no cover - namespace-package edge
+        raise SystemExit("cannot locate the repro package to lint; pass paths")
+    return [str(Path(package_file).parent)]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.quality`` entry point.  Exit 0 clean, 1 findings."""
+    import argparse
+
+    # Register built-ins before --rules choices are computed.
+    from repro.quality import checkers as _checkers  # noqa: F401
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & resource-safety static analysis for the "
+            "repro-gossip source tree."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        choices=sorted(CHECKER_REGISTRY),
+        default=None,
+        help="run only these rules (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip project-scope checks (the registry-consistency cross-check)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print registered rule ids with descriptions and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(CHECKER_REGISTRY):
+            print(f"{rule_id:22s} {CHECKER_REGISTRY[rule_id].description}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    findings = run_lint(
+        paths, rules=args.rules, include_project=not args.no_registry
+    )
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        label = "finding" if len(findings) == 1 else "findings"
+        print(f"repro-lint: {len(findings)} {label} in {len(paths)} path(s)")
+    return 1 if findings else 0

@@ -62,7 +62,11 @@ def atomic_write_text(path: PathLike, text: str) -> Path:
     return atomic_write_bytes(path, text.encode("utf-8"))
 
 
-def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: Optional[Dict] = None) -> Path:
+def save_rows_json(
+    rows: Sequence[Dict[str, object]],
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
     """Save a row table (list of flat dicts) plus optional metadata as JSON.
 
     The file layout is ``{"metadata": {...}, "rows": [...]}``; metadata is
@@ -75,7 +79,10 @@ def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: 
 
 def load_rows_json(path: PathLike) -> Dict[str, object]:
     """Load a JSON row table saved by :func:`save_rows_json`."""
-    return json.loads(Path(path).read_text())
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is valid JSON but not a saved row table")
+    return payload
 
 
 def save_rows_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
@@ -101,7 +108,9 @@ def load_rows_csv(path: PathLike) -> List[Dict[str, str]]:
         return [dict(row) for row in csv.DictReader(handle)]
 
 
-def save_trace(trace: RunTrace, path: PathLike, metadata: Optional[Dict] = None) -> Path:
+def save_trace(
+    trace: RunTrace, path: PathLike, metadata: Optional[Dict[str, object]] = None
+) -> Path:
     """Save a :class:`RunTrace` (plus metadata) as JSON."""
     payload = {"metadata": dict(metadata or {}), "trace": trace.as_dict()}
     return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
@@ -127,6 +136,8 @@ def load_trace(path: PathLike) -> RunTrace:
             f"{source} is valid JSON but not a saved trace (no 'trace' key)"
         )
     data = payload["trace"]
+    if not isinstance(data, dict):
+        raise ValueError(f"{source} has a non-object 'trace' payload")
     trace = RunTrace(
         rounds=list(data.get("rounds", [])),
         num_edges=list(data.get("num_edges", [])),

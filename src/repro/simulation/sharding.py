@@ -105,6 +105,8 @@ __all__ = [
     "ShardPlan",
     "ShardedProcess",
     "SHARDABLE_PROCESSES",
+    "SHARD_KINDS",
+    "UNSHARDABLE_PROCESSES",
     "DEFAULT_PARALLEL_THRESHOLD",
     "DEFAULT_SHARD_RETRIES",
 ]
@@ -127,6 +129,18 @@ SHARDABLE_PROCESSES: Dict[type, str] = {
 #: kinds whose shards report packed delta-row blocks (OR-merged through
 #: ``DeltaRows.or_into_range``); the rest report proposal endpoint arrays.
 _ROWBLOCK_KINDS = frozenset({"flooding", "name_dropper", "pointer_jump"})
+
+#: every kernel kind ``_run_kernel`` implements.  The repro-lint
+#: registry-consistency checker verifies ``SHARDABLE_PROCESSES`` maps only
+#: into this set, so a typo'd kind fails lint instead of raising mid-run.
+SHARD_KINDS = frozenset({"push", "pull", "directed_walk"}) | _ROWBLOCK_KINDS
+
+#: registry names exempt from the "every process is shardable" invariant.
+#: The faulty variants draw per-call fault decisions inside ``propose``;
+#: the shard kernels replay only the bulk per-round uniform convention, so
+#: sharding them would change the draw sequence.  Listing them here is the
+#: documented opt-out the registry-consistency checker accepts.
+UNSHARDABLE_PROCESSES = frozenset({"faulty_push", "faulty_pull"})
 
 #: below this n the per-round process-pool round-trip costs more than the
 #: round itself; the auto mode stays in-process.
@@ -607,6 +621,13 @@ class ShardedProcess:
             except BaseException:
                 # A deterministic worker exception (not worker death) must
                 # propagate — but never with live shared-memory segments.
+                # BaseException on purpose: KeyboardInterrupt mid-round must
+                # also release the segments or they leak past process exit.
+                logger.error(
+                    "shard round %d failed with a non-pool error; releasing "
+                    "shared memory and re-raising",
+                    self.process.round_index,
+                )
                 self.close()
                 raise
         nbr, deg, bits = self._round_state()
@@ -875,8 +896,10 @@ class ShardedProcess:
                     "shared-memory segment may have leaked",
                     exc,
                 )
-            except Exception:
-                pass  # logging machinery already torn down at interpreter exit
+            # Interpreter-exit finalizer: the logging machinery itself may be
+            # torn down, and raising from __del__ is worse than silence.
+            except Exception:  # repro-lint: allow[exception-hygiene]
+                pass
 
     def __repr__(self) -> str:
         mode = "process-pool" if self._parallel else "in-process"

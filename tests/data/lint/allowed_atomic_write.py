@@ -1,0 +1,25 @@
+"""Fixture: the pragma'd/atomic twin of bad_atomic_write.py."""
+
+import json
+from pathlib import Path
+
+from repro.simulation.io import atomic_write_text
+
+
+def pragma_escape_hatch(path, rows):
+    with open(path, "w") as fh:  # repro-lint: allow[atomic-write]
+        json.dump(rows, fh)
+
+
+def atomic_is_the_way(path, rows):
+    atomic_write_text(Path(path), json.dumps(rows))
+
+
+def reading_is_fine(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def explicit_read_mode_is_fine(path):
+    with open(path, "rb") as fh:
+        return fh.read()

@@ -1,0 +1,18 @@
+"""Fixture: the pragma'd twin of bad_capability_guard.py — lint must pass."""
+
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+
+
+def record(graph, sink):
+    if isinstance(graph, DynamicGraph):  # repro-lint: allow[capability-guard]
+        sink.append(graph.n)
+    # repro-lint: allow[capability-guard]
+    if isinstance(graph, (DynamicGraph, DynamicDiGraph)):
+        sink.append("either")
+
+
+def capability_dispatch_is_fine(graph, sink):
+    if hasattr(graph, "packed_rows"):
+        sink.append("packed")
+    if isinstance(sink, list):
+        sink.append("plain isinstance against non-backends is fine")

@@ -1,0 +1,30 @@
+"""Fixture: the pragma'd twin of bad_determinism.py — lint must pass."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # repro-lint: allow[determinism]
+
+
+def global_numpy_draw(n):
+    return np.random.random(n)  # repro-lint: allow[determinism]
+
+
+def stdlib_draw(items):
+    # repro-lint: allow[determinism]
+    random.shuffle(items)
+    return random.choice(items)  # repro-lint: allow[determinism]
+
+
+def wall_clock_seed():
+    return int(time.time()) ^ datetime.now().microsecond  # repro-lint: allow[determinism]
+
+
+def seeded_is_always_fine(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(4)

@@ -1,0 +1,42 @@
+"""Fixture: the pragma'd/handled twin of bad_exception_hygiene.py."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def bare_swallow(fn):
+    try:
+        return fn()
+    except:  # noqa: E722  # repro-lint: allow[exception-hygiene]
+        return None
+
+
+def logging_is_fine(fn):
+    try:
+        return fn()
+    except Exception:
+        logger.warning("fn failed")
+        return None
+
+
+def reraise_is_fine(fn):
+    try:
+        return fn()
+    except BaseException:
+        raise
+
+
+def using_the_exception_is_fine(fn, results):
+    try:
+        return fn()
+    except Exception as exc:
+        results.append(exc)
+        return None
+
+
+def narrow_is_fine(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None

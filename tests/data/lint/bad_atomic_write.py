@@ -1,0 +1,18 @@
+"""Fixture: non-atomic result writes outside simulation/io.py."""
+
+import json
+from pathlib import Path
+
+
+def torn_write(path, rows):
+    with open(path, "w") as fh:
+        json.dump(rows, fh)
+
+
+def torn_binary(path, blob):
+    with open(path, mode="wb") as fh:
+        fh.write(blob)
+
+
+def torn_pathlib(path, text):
+    Path(path).write_text(text)

@@ -1,0 +1,10 @@
+"""Fixture: isinstance dispatch against concrete graph backends."""
+
+from repro.graphs.adjacency import DynamicDiGraph, DynamicGraph
+
+
+def record(graph, sink):
+    if isinstance(graph, DynamicGraph):
+        sink.append(graph.n)
+    if isinstance(graph, (DynamicGraph, DynamicDiGraph)):
+        sink.append("either")

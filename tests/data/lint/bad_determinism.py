@@ -1,0 +1,24 @@
+"""Fixture: every statement here violates the determinism rule."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def global_numpy_draw(n):
+    return np.random.random(n)
+
+
+def stdlib_draw(items):
+    random.shuffle(items)
+    return random.choice(items)
+
+
+def wall_clock_seed():
+    return int(time.time()) ^ datetime.now().microsecond

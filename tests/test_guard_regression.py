@@ -137,40 +137,21 @@ class TestGroupDiscoveryBackends:
 
 
 class TestNoStaleBackendGuards:
-    """Lint sweep: the guard bug class must not reappear outside repro/graphs."""
+    """Thin shim: the guard sweep lives in repro-lint's capability-guard rule.
 
-    GUARD_NAMES = {"DynamicGraph", "DynamicDiGraph"}
-
-    @classmethod
-    def _names_in(cls, node):
-        import ast
-
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Name) and sub.id in cls.GUARD_NAMES:
-                yield sub.id
-            elif isinstance(sub, ast.Attribute) and sub.attr in cls.GUARD_NAMES:
-                yield sub.attr
+    The one-off AST sweep this class used to carry was generalized into
+    ``repro.quality`` (see ``docs/linting.md``); this delegation keeps the
+    historical entry point (and the CI step name) meaningful.
+    """
 
     def test_no_isinstance_dynamicgraph_outside_graphs_layer(self):
-        import ast
+        from repro.quality import run_lint
 
-        offenders = []
-        for path in sorted(SRC_ROOT.rglob("*.py")):
-            if SRC_ROOT / "graphs" in path.parents:
-                continue  # the backend layer itself may compare its own types
-            tree = ast.parse(path.read_text())
-            for node in ast.walk(tree):
-                if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Name)
-                    and node.func.id == "isinstance"
-                    and len(node.args) == 2
-                    and any(self._names_in(node.args[1]))
-                ):
-                    offenders.append(
-                        f"{path.relative_to(SRC_ROOT.parent)}:{node.lineno}"
-                    )
+        offenders = run_lint(
+            [SRC_ROOT], rules=["capability-guard"], include_project=False
+        )
         assert not offenders, (
             "stale isinstance(DynamicGraph) backend guards found (use the "
-            f"capability checks from baselines/_packed.py instead): {offenders}"
+            "capability checks from baselines/_packed.py instead): "
+            f"{[str(f) for f in offenders]}"
         )
