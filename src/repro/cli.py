@@ -324,6 +324,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         argv.append("--list-rules")
     argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
     return lint_main(argv)
 
 
@@ -542,7 +544,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
     )
-    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument(
+        "--format", choices=["text", "json", "github"], default="text"
+    )
+    p_lint.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write a JSON findings report to PATH (atomically)",
+    )
     p_lint.set_defaults(func=_cmd_lint)
 
     return parser

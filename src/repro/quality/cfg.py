@@ -1,0 +1,434 @@
+"""Intra-procedural control-flow graphs over Python ASTs.
+
+The syntax-level checkers in :mod:`repro.quality.checkers` see one
+statement at a time; the flow-sensitive rules in
+:mod:`repro.quality.flow_checkers` need to reason about *paths* — "does
+this shared-memory handle reach ``unlink()`` on every way out of the
+function, including the ways an exception takes?".  This module builds
+the graph those questions are asked over.
+
+Scope and shape
+---------------
+One :class:`CFG` per scope (a function body, or a module's top-level
+statements), built by :func:`build_cfg`.  Nodes are *statement-grained*:
+every simple statement is one node, and compound statements contribute
+the fragment that actually executes at that point (an ``if``/``while``
+test, a ``for`` iterable, a ``with`` context expression) — never their
+nested bodies, so walking a node's :meth:`~CFGNode.evaluated` parts
+visits each expression exactly once per graph.
+
+Edges carry a kind:
+
+* ``"normal"`` — ordinary fall-through, branch, and loop edges;
+* ``"exception"`` — control leaving a statement because it raised.
+
+Exception edges are approximated conservatively: a statement that
+contains a call or a subscript (or is an ``assert``) *may* raise, and
+routes to the innermost enclosing handler context — the ``try``'s
+dispatch node, a ``with`` statement's exit node, or the synthetic
+``raise`` exit of the whole scope.  ``finally`` blocks are built once
+(not duplicated per continuation) and exit both normally and
+exceptionally; this admits a few infeasible paths, which is safe for the
+may-analyses run over the graph (more paths can only add findings, and
+the known cases are documented in ``docs/linting.md``).
+
+Every scope has three synthetic anchors: ``entry``, ``exit`` (normal
+returns and fall-off-the-end) and ``raise_exit`` (exceptions that escape
+the scope).  :meth:`CFG.paths` enumerates loop-free paths between them,
+which is what the unit tests pin branch/loop/try-finally shapes with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "NORMAL",
+    "EXCEPTION",
+    "CFGNode",
+    "CFG",
+    "build_cfg",
+    "ScopeNode",
+]
+
+#: edge kind: ordinary fall-through / branch / loop edges
+NORMAL = "normal"
+#: edge kind: control leaving a statement because it raised
+EXCEPTION = "exception"
+
+#: AST node types a CFG can be built for
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class CFGNode:
+    """One control-flow node.
+
+    ``kind`` is one of:
+
+    ``"entry"`` / ``"exit"`` / ``"raise"``
+        The scope's synthetic anchors (no statement attached).
+    ``"stmt"``
+        A simple statement (assignment, expression, ``return``,
+        ``raise``, a nested ``def``/``class`` — the definition, not its
+        body).
+    ``"branch"``
+        An ``if`` or ``match`` head; ``stmt`` is the full statement,
+        :meth:`evaluated` yields only its test/subject expression.
+    ``"loop"``
+        A ``while``/``for`` head (test / iterable evaluation).
+    ``"with"``
+        A ``with`` statement's entry (context-manager construction).
+    ``"with-exit"``
+        The paired ``__exit__`` point; runs on both the normal and the
+        exceptional way out of the ``with`` body.
+    ``"dispatch"``
+        A ``try``'s exception-dispatch point: exceptions raised in the
+        body arrive here and fan out to the handlers (or onward).
+    ``"handler"``
+        An ``except`` clause head (``stmt`` is the ``ExceptHandler``;
+        binds the exception name, if any).
+    ``"finally"``
+        The gate through which exceptional control enters a single-copy
+        ``finally`` block.
+    ``"reraise"``
+        The point after a ``finally`` body completes where a pending
+        exception resumes propagating; reached by normal edges (the
+        body's effects did happen), leaves by an exceptional one.
+    """
+
+    __slots__ = ("index", "kind", "stmt")
+
+    def __init__(self, index: int, kind: str, stmt: Optional[ast.AST] = None) -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+
+    @property
+    def line(self) -> int:
+        """Source line of the attached statement (0 for synthetic nodes)."""
+        return int(getattr(self.stmt, "lineno", 0) or 0)
+
+    def evaluated(self) -> Tuple[ast.AST, ...]:
+        """The expression fragments that execute *at this node*.
+
+        Compound statements return only their head fragment (test,
+        iterable, context expressions), never their bodies — those live
+        in their own nodes — so scanning every node's ``evaluated()``
+        parts covers each executed expression exactly once.
+        """
+        stmt = self.stmt
+        if stmt is None:
+            return ()
+        if self.kind == "stmt":
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Only the definition executes here: decorators and
+                # default values, never the nested body.
+                defaults = [d for d in stmt.args.defaults if d is not None]
+                kw_defaults = [d for d in stmt.args.kw_defaults if d is not None]
+                return tuple(stmt.decorator_list) + tuple(defaults) + tuple(kw_defaults)
+            if isinstance(stmt, ast.ClassDef):
+                keyword_values = [kw.value for kw in stmt.keywords]
+                return tuple(stmt.decorator_list) + tuple(stmt.bases) + tuple(keyword_values)
+            return (stmt,)
+        if self.kind == "branch":
+            if isinstance(stmt, ast.If):
+                return (stmt.test,)
+            if isinstance(stmt, ast.Match):
+                return (stmt.subject,)
+            return ()
+        if self.kind == "loop":
+            if isinstance(stmt, ast.While):
+                return (stmt.test,)
+            if isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
+                return (stmt.iter,)
+            return ()
+        if self.kind == "with":
+            items = stmt.items if isinstance(stmt, (ast.With, ast.AsyncWith)) else []
+            return tuple(item.context_expr for item in items)
+        if self.kind == "handler" and isinstance(stmt, ast.ExceptHandler):
+            return (stmt.type,) if stmt.type is not None else ()
+        return ()
+
+    def __repr__(self) -> str:
+        tag = type(self.stmt).__name__ if self.stmt is not None else "-"
+        return f"CFGNode({self.index}, {self.kind!r}, {tag}@{self.line})"
+
+
+class CFG:
+    """A scope's control-flow graph: nodes plus kind-tagged edges."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[CFGNode] = []
+        self._succs: Dict[int, List[Tuple[int, str]]] = {}
+        self._preds: Dict[int, List[Tuple[int, str]]] = {}
+        self.entry = self._new("entry").index
+        self.exit = self._new("exit").index
+        self.raise_exit = self._new("raise").index
+
+    # ------------------------------------------------------------------ #
+    # construction (used by the builder)
+    # ------------------------------------------------------------------ #
+    def _new(self, kind: str, stmt: Optional[ast.AST] = None) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        self._succs[node.index] = []
+        self._preds[node.index] = []
+        return node
+
+    def _edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        if (dst, kind) not in self._succs[src]:
+            self._succs[src].append((dst, kind))
+            self._preds[dst].append((src, kind))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def successors(self, index: int) -> Sequence[Tuple[int, str]]:
+        """``(node index, edge kind)`` pairs leaving ``index``."""
+        return tuple(self._succs[index])
+
+    def predecessors(self, index: int) -> Sequence[Tuple[int, str]]:
+        """``(node index, edge kind)`` pairs entering ``index``."""
+        return tuple(self._preds[index])
+
+    def node(self, index: int) -> CFGNode:
+        """The node at ``index``."""
+        return self.nodes[index]
+
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        """Every non-synthetic node, in creation (roughly source) order."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def paths(self, max_paths: int = 10000) -> List[List[int]]:
+        """Enumerate loop-free paths from ``entry`` to either exit.
+
+        Each loop body is traversed at most once per path (back edges to
+        a node already on the path are skipped), so the enumeration
+        terminates; ``max_paths`` caps pathological blow-ups.  Meant for
+        tests and debugging, not for the fixed-point analyses.
+        """
+        found: List[List[int]] = []
+        path: List[int] = []
+        on_path: Set[int] = set()
+
+        def walk(index: int) -> None:
+            if len(found) >= max_paths:
+                return
+            path.append(index)
+            on_path.add(index)
+            if index in (self.exit, self.raise_exit):
+                found.append(list(path))
+            else:
+                for succ, _kind in self._succs[index]:
+                    if succ not in on_path:
+                        walk(succ)
+            on_path.discard(index)
+            path.pop()
+
+        walk(self.entry)
+        return found
+
+    def __repr__(self) -> str:
+        edges = sum(len(v) for v in self._succs.values())
+        return f"CFG({self.name!r}, nodes={len(self.nodes)}, edges={edges})"
+
+
+# --------------------------------------------------------------------------- #
+# the builder
+# --------------------------------------------------------------------------- #
+def _may_raise(parts: Sequence[ast.AST]) -> bool:
+    """Whether evaluating ``parts`` may raise (conservative approximation).
+
+    Calls and subscripts are the raise sites that matter for the flow
+    rules (a call into arbitrary code, a ``KeyError``/``IndexError``);
+    attribute access and arithmetic are deliberately ignored to keep the
+    exceptional edge set focused.
+    """
+    for part in parts:
+        for sub in ast.walk(part):
+            if isinstance(sub, (ast.Call, ast.Subscript, ast.Await, ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """A handler no exception can get past: bare or ``BaseException``."""
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id == "BaseException"
+    if isinstance(handler.type, ast.Attribute):
+        return handler.type.attr == "BaseException"
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one scope."""
+
+    def __init__(self, name: str) -> None:
+        self.cfg = CFG(name)
+        # Innermost exception target: where a raising statement routes.
+        self.exc_stack: List[int] = [self.cfg.raise_exit]
+        # (loop head index, list collecting `break` sources) per open loop.
+        self.loop_stack: List[Tuple[int, List[int]]] = []
+
+    # -- small helpers ------------------------------------------------- #
+    def _connect(self, preds: Sequence[int], dst: int, kind: str = NORMAL) -> None:
+        for src in preds:
+            self.cfg._edge(src, dst, kind)
+
+    def _stmt_node(self, kind: str, stmt: ast.AST, preds: Sequence[int]) -> CFGNode:
+        node = self.cfg._new(kind, stmt)
+        self._connect(preds, node.index)
+        if _may_raise(node.evaluated()) or isinstance(stmt, ast.Assert):
+            self.cfg._edge(node.index, self.exc_stack[-1], EXCEPTION)
+        return node
+
+    # -- statement sequencing ------------------------------------------ #
+    def build_body(self, stmts: Sequence[ast.stmt], preds: List[int]) -> List[int]:
+        """Thread ``stmts`` after ``preds``; return the dangling normal exits."""
+        for stmt in stmts:
+            if not preds:
+                break  # unreachable code after return/raise/break/continue
+            preds = self.build_stmt(stmt, preds)
+        return preds
+
+    def build_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, preds)
+        node = self._stmt_node("stmt", stmt, preds)
+        if isinstance(stmt, ast.Return):
+            self.cfg._edge(node.index, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self.cfg._edge(node.index, self.exc_stack[-1], EXCEPTION)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.loop_stack[-1][1].append(node.index)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self.cfg._edge(node.index, self.loop_stack[-1][0])
+            return []
+        return [node.index]
+
+    # -- compound statements ------------------------------------------- #
+    def _build_if(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        head = self._stmt_node("branch", stmt, preds)
+        out = self.build_body(stmt.body, [head.index])
+        if stmt.orelse:
+            out += self.build_body(stmt.orelse, [head.index])
+        else:
+            out.append(head.index)
+        return out
+
+    def _build_loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], preds: List[int]
+    ) -> List[int]:
+        head = self._stmt_node("loop", stmt, preds)
+        self.loop_stack.append((head.index, []))
+        body_out = self.build_body(stmt.body, [head.index])
+        self._connect(body_out, head.index)  # back edge
+        _, breaks = self.loop_stack.pop()
+        out = list(breaks)
+        if stmt.orelse:
+            out += self.build_body(stmt.orelse, [head.index])
+        else:
+            out.append(head.index)  # loop not entered / condition false
+        return out
+
+    def _build_with(
+        self, stmt: Union[ast.With, ast.AsyncWith], preds: List[int]
+    ) -> List[int]:
+        enter = self._stmt_node("with", stmt, preds)
+        # __exit__ runs on both ways out of the body; exceptions continue
+        # outward after it (a suppressing manager also continues normally,
+        # which the shared normal out-edge models).
+        leave = self.cfg._new("with-exit", stmt)
+        self.exc_stack.append(leave.index)
+        body_out = self.build_body(stmt.body, [enter.index])
+        self.exc_stack.pop()
+        self._connect(body_out, leave.index)
+        self.cfg._edge(leave.index, self.exc_stack[-1], EXCEPTION)
+        return [leave.index]
+
+    def _build_try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        dispatch = self.cfg._new("dispatch", stmt)
+        has_finally = bool(stmt.finalbody)
+        fin_gate: Optional[CFGNode] = None
+        if has_finally:
+            # Exceptional control (uncaught dispatch, raising handlers)
+            # funnels through this gate into the single-copy finally.
+            fin_gate = self.cfg._new("finally", stmt)
+        # The target exceptions-in-scope route to once the body is done
+        # dispatching: the finally gate if there is one, else outward.
+        after_exc = fin_gate.index if fin_gate is not None else self.exc_stack[-1]
+
+        self.exc_stack.append(dispatch.index)
+        body_out = self.build_body(stmt.body, list(preds))
+        self.exc_stack.pop()
+
+        self.exc_stack.append(after_exc)
+        else_out = self.build_body(stmt.orelse, body_out) if stmt.orelse else body_out
+        handler_out: List[int] = []
+        for handler in stmt.handlers:
+            head = self.cfg._new("handler", handler)
+            self.cfg._edge(dispatch.index, head.index)
+            handler_out += self.build_body(handler.body, [head.index])
+        # An exception no handler catches continues outward (through the
+        # finally when present).  Whether a handler matches is semantic in
+        # general, but a bare ``except:`` / ``except BaseException:`` is a
+        # syntactic catch-all — no exception escapes the dispatch past one.
+        if not any(_is_catch_all(handler) for handler in stmt.handlers):
+            self.cfg._edge(dispatch.index, after_exc, EXCEPTION)
+        self.exc_stack.pop()
+
+        if not has_finally:
+            return else_out + handler_out
+        assert fin_gate is not None
+        fin_out = self.build_body(stmt.finalbody, else_out + handler_out + [fin_gate.index])
+        # Single-copy finally: it completes normally into the code after
+        # the try AND re-raises outward — which continuation applies
+        # depends on how it was entered, which a single copy cannot track.
+        # The re-raise happens *after* the finally body completed, so it
+        # funnels through a synthetic node reached by NORMAL edges (the
+        # body's effects — a release in the finally — must apply on it).
+        reraise = self.cfg._new("reraise", stmt)
+        self._connect(fin_out, reraise.index)
+        self.cfg._edge(reraise.index, self.exc_stack[-1], EXCEPTION)
+        return fin_out
+
+    def _build_match(self, stmt: ast.Match, preds: List[int]) -> List[int]:
+        head = self._stmt_node("branch", stmt, preds)
+        out: List[int] = [head.index]  # no case may match
+        for case in stmt.cases:
+            out += self.build_body(case.body, [head.index])
+        return out
+
+
+def build_cfg(scope: ScopeNode, name: Optional[str] = None) -> CFG:
+    """Build the CFG of one scope (a function definition or a module).
+
+    Nested function and class definitions inside ``scope`` appear as
+    single ``stmt`` nodes (the definition executes; its body does not) —
+    build their CFGs separately to analyse them.
+    """
+    if name is None:
+        name = getattr(scope, "name", None) or "<module>"
+    builder = _Builder(name)
+    out = builder.build_body(scope.body, [builder.cfg.entry])
+    builder._connect(out, builder.cfg.exit)
+    return builder.cfg

@@ -1,0 +1,241 @@
+"""Worklist fixed-point dataflow over :mod:`repro.quality.cfg` graphs.
+
+Two layers:
+
+* :class:`Analysis` — the pluggable abstract-state lattice.  A concrete
+  analysis supplies the lattice operations (``bottom``/``join``) and an
+  edge-kind-aware transfer function (``flow``); :func:`solve_forward`
+  iterates transfers to the least fixed point with a worklist.  States
+  must be plain comparable values (frozensets, tuples, dicts of
+  frozensets) — the solver detects convergence with ``==``.
+* :class:`ReachingDefinitions` — the one analysis every flow checker
+  needs: which assignments of a name can reach a program point.  Built
+  on the same engine, exposed with name-indexed convenience queries.
+
+Edge-kind awareness is what makes the exceptional paths honest: a
+statement's effect (an assignment's definition, a ``close()`` call's
+release) applies on its **normal** out-edges only.  Along an
+``exception`` edge the statement did *not* complete, so the state passes
+through unchanged — which is exactly why ``f = open(...); f.write(...);
+f.close()`` still leaks on the path where ``write`` raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Generic, List, Optional, Tuple, TypeVar
+
+from repro.quality.cfg import CFG, CFGNode, EXCEPTION, NORMAL
+
+__all__ = [
+    "Analysis",
+    "solve_forward",
+    "assigned_names",
+    "ReachingDefinitions",
+]
+
+StateT = TypeVar("StateT")
+
+
+class Analysis(Generic[StateT]):
+    """One dataflow problem: a lattice plus an edge-aware transfer function.
+
+    Subclasses implement:
+
+    * :meth:`bottom` — the lattice's least element (state of unreached
+      nodes, and the identity of :meth:`join`);
+    * :meth:`initial` — the state at the scope's entry node;
+    * :meth:`join` — least upper bound of two states (set union for the
+      may-analyses the flow checkers use);
+    * :meth:`flow` — the state after executing ``node``, given the state
+      before it and the kind of out-edge taken.  The default ships the
+      in-state through unchanged on :data:`~repro.quality.cfg.EXCEPTION`
+      edges and delegates normal edges to :meth:`transfer`.
+    """
+
+    def bottom(self) -> StateT:
+        raise NotImplementedError
+
+    def initial(self, cfg: CFG) -> StateT:
+        return self.bottom()
+
+    def join(self, a: StateT, b: StateT) -> StateT:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: StateT) -> StateT:
+        """State after ``node`` completes normally (default: unchanged)."""
+        return state
+
+    def flow(self, node: CFGNode, state: StateT, edge_kind: str) -> StateT:
+        """State propagated along one out-edge of ``node``.
+
+        On an exceptional edge the node's effect did not (fully) happen:
+        an assignment's target was not bound, a release call did not
+        release.  Passing the in-state through unchanged is therefore
+        the sound default for both gen and kill effects.
+        """
+        if edge_kind == EXCEPTION:
+            return state
+        return self.transfer(node, state)
+
+
+def solve_forward(cfg: CFG, analysis: Analysis[StateT]) -> Dict[int, StateT]:
+    """Iterate ``analysis`` over ``cfg`` to its least fixed point.
+
+    Returns the IN-state of every node (the join over all in-edges of
+    the flows along them).  The worklist is seeded in node-creation
+    order, which approximates reverse post-order closely enough for the
+    small scopes a lint run sees.
+    """
+    in_states: Dict[int, StateT] = {
+        node.index: analysis.bottom() for node in cfg.nodes
+    }
+    in_states[cfg.entry] = analysis.initial(cfg)
+    worklist: List[int] = [node.index for node in cfg.nodes]
+    pending = set(worklist)
+    while worklist:
+        index = worklist.pop(0)
+        pending.discard(index)
+        node = cfg.node(index)
+        for succ, kind in cfg.successors(index):
+            out = analysis.flow(node, in_states[index], kind)
+            joined = analysis.join(in_states[succ], out)
+            if joined != in_states[succ]:
+                in_states[succ] = joined
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return in_states
+
+
+# --------------------------------------------------------------------------- #
+# reaching definitions
+# --------------------------------------------------------------------------- #
+def _target_names(target: ast.expr) -> List[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []  # attribute / subscript stores bind no local name
+
+
+def assigned_names(node: CFGNode) -> Tuple[str, ...]:
+    """The local names ``node`` (re)binds when it completes normally."""
+    stmt = node.stmt
+    if stmt is None:
+        return ()
+    names: List[str] = []
+    if node.kind == "stmt":
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.extend(_target_names(target))
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names.extend(_target_names(stmt.target))
+        elif isinstance(stmt, ast.NamedExpr):  # pragma: no cover - stmt-level walrus
+            names.extend(_target_names(stmt.target))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.append(stmt.name)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    names.append(alias.asname or alias.name.split(".")[0])
+    elif node.kind == "loop" and isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.extend(_target_names(stmt.target))
+    elif node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif node.kind == "handler" and isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.append(stmt.name)
+    # Walrus targets nested anywhere in the evaluated fragments also bind.
+    for part in node.evaluated():
+        for sub in ast.walk(part):
+            if isinstance(sub, ast.NamedExpr):
+                names.extend(_target_names(sub.target))
+    return tuple(dict.fromkeys(names))
+
+
+#: a reaching-defs state: name -> the node indices that may have defined it
+_DefsState = Tuple[Tuple[str, FrozenSet[int]], ...]
+
+#: sentinel definition site for names bound at scope entry (parameters)
+ENTRY_DEF = -1
+
+
+class _ReachingDefsAnalysis(Analysis[_DefsState]):
+    """Union-join reaching definitions over canonicalised tuple states."""
+
+    def __init__(self, params: Tuple[str, ...]) -> None:
+        self._params = params
+
+    def bottom(self) -> _DefsState:
+        return ()
+
+    def initial(self, cfg: CFG) -> _DefsState:
+        return tuple(
+            (name, frozenset({ENTRY_DEF})) for name in sorted(self._params)
+        )
+
+    def join(self, a: _DefsState, b: _DefsState) -> _DefsState:
+        if not a:
+            return b
+        if not b:
+            return a
+        merged: Dict[str, FrozenSet[int]] = dict(a)
+        for name, defs in b:
+            merged[name] = merged.get(name, frozenset()) | defs
+        return tuple(sorted(merged.items()))
+
+    def transfer(self, node: CFGNode, state: _DefsState) -> _DefsState:
+        names = assigned_names(node)
+        if not names:
+            return state
+        merged: Dict[str, FrozenSet[int]] = dict(state)
+        for name in names:
+            merged[name] = frozenset({node.index})
+        return tuple(sorted(merged.items()))
+
+
+class ReachingDefinitions:
+    """Which definitions of a name can reach each node of a CFG.
+
+    ``defs_of(name, node_index)`` returns the CFG node indices whose
+    assignment to ``name`` may be the live one on entry to that node;
+    :data:`ENTRY_DEF` (``-1``) marks "bound before the scope ran" (a
+    parameter).  An empty set means the name cannot be bound there.
+    """
+
+    def __init__(self, cfg: CFG, scope: Optional[ast.AST] = None) -> None:
+        self.cfg = cfg
+        params: Tuple[str, ...] = ()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            if args.vararg is not None:
+                all_args.append(args.vararg)
+            if args.kwarg is not None:
+                all_args.append(args.kwarg)
+            params = tuple(a.arg for a in all_args)
+        self._in_states = solve_forward(cfg, _ReachingDefsAnalysis(params))
+
+    def defs_of(self, name: str, node_index: int) -> FrozenSet[int]:
+        """Definition sites of ``name`` that may reach ``node_index``'s entry."""
+        for state_name, defs in self._in_states[node_index]:
+            if state_name == name:
+                return defs
+        return frozenset()
+
+    def def_nodes(self, name: str, node_index: int) -> List[CFGNode]:
+        """The actual :class:`CFGNode` defs (entry-bound sites omitted)."""
+        return [
+            self.cfg.node(i)
+            for i in sorted(self.defs_of(name, node_index))
+            if i >= 0
+        ]

@@ -59,6 +59,8 @@ __all__ = [
     "run_lint",
     "lint_text",
     "main",
+    "github_annotation",
+    "write_report",
     "PRAGMA_RULE",
     "PARSE_RULE",
 ]
@@ -458,9 +460,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="finding output format",
+        help=(
+            "finding output format (github emits ::error workflow-command "
+            "annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the findings as a JSON report to PATH (atomically)",
     )
     parser.add_argument(
         "--list-rules",
@@ -478,11 +489,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     findings = run_lint(
         paths, rules=args.rules, include_project=not args.no_registry
     )
+    if args.output:
+        write_report(args.output, paths, args.rules, findings)
     if args.format == "json":
         print(json.dumps([f.as_dict() for f in findings], indent=2))
+    elif args.format == "github":
+        for finding in findings:
+            print(github_annotation(finding))
+        label = "finding" if len(findings) == 1 else "findings"
+        print(f"repro-lint: {len(findings)} {label} in {len(paths)} path(s)")
     else:
         for finding in findings:
             print(finding)
         label = "finding" if len(findings) == 1 else "findings"
         print(f"repro-lint: {len(findings)} {label} in {len(paths)} path(s)")
     return 1 if findings else 0
+
+
+def _annotation_escape(value: str, *, property_value: bool = False) -> str:
+    """Escape per GitHub's workflow-command rules (order matters: % first)."""
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def github_annotation(finding: Finding) -> str:
+    """One finding as a GitHub Actions ``::error`` annotation line."""
+    file_prop = _annotation_escape(finding.path, property_value=True)
+    title = _annotation_escape(f"repro-lint [{finding.rule}]", property_value=True)
+    message = _annotation_escape(finding.message)
+    return (
+        f"::error file={file_prop},line={finding.line},title={title}::{message}"
+    )
+
+
+def write_report(
+    output: str,
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]],
+    findings: Sequence[Finding],
+) -> None:
+    """Write a JSON lint report to ``output`` atomically.
+
+    Imported lazily from the io layer so that merely importing the lint
+    framework never pulls the simulation package in.
+    """
+    from repro.simulation.io import atomic_write_text
+
+    report = {
+        "tool": "repro-lint",
+        "paths": list(paths),
+        "rules": sorted(rules) if rules else sorted(CHECKER_REGISTRY),
+        "count": len(findings),
+        "findings": [f.as_dict() for f in findings],
+    }
+    atomic_write_text(output, json.dumps(report, indent=2) + "\n")

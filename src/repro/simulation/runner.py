@@ -190,14 +190,17 @@ def _run_trials_pooled(
     while pending and pool_failures <= retries:
         pool = ProcessPoolExecutor(max_workers=min(processes, len(pending)))
         futures = {}
-        for job in pending:
-            directive = (
-                fault_injector.take_trial(job[1]) if fault_injector is not None else None
-            )
-            payload = job if directive is None else (*job, directive)
-            futures[job[1]] = pool.submit(_run_single_trial, payload)
         broken = False
         try:
+            # Submitting inside the try keeps the pool covered by the
+            # finally: a raising fault-injector or submit() must not leak
+            # worker processes.
+            for job in pending:
+                directive = (
+                    fault_injector.take_trial(job[1]) if fault_injector is not None else None
+                )
+                payload = job if directive is None else (*job, directive)
+                futures[job[1]] = pool.submit(_run_single_trial, payload)
             # Keep draining after a break: futures that completed before the
             # pool died still hold results, and siblings must not be lost.
             for trial_index, future in futures.items():

@@ -1,0 +1,30 @@
+"""Allowed corpus: module-level callables and plain data pickle fine."""
+
+
+def module_level_worker(value):
+    return value + 1
+
+
+class ModuleLevelWorker:
+    def work(self, value):
+        return value * 2
+
+
+def submit_module_function(pool, item):
+    return pool.submit(module_level_worker, item)
+
+
+def submit_bound_method_of_module_class(pool, item):
+    worker = ModuleLevelWorker()
+    return pool.submit(worker.work, item)
+
+
+def submit_plain_data(pool, worker, payload):
+    return pool.submit(worker, (payload, {"k": 1}, [2, 3]))
+
+
+def suppressed_local_helper(pool, item):
+    def helper(value):
+        return value
+
+    return pool.submit(helper, item)  # repro-lint: allow[pickle-safety]

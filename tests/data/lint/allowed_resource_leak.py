@@ -1,0 +1,67 @@
+"""Allowed corpus: every acquisition is released on all paths (or handed off)."""
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def safe_with(path, payload):
+    # with-managed handles release by construction
+    with open(path, "w") as handle:  # repro-lint: allow[atomic-write]
+        handle.write(payload)
+
+
+def safe_finally(path, payload):
+    handle = open(path, "w")  # repro-lint: allow[atomic-write]
+    try:
+        handle.write(payload)
+    finally:
+        handle.close()
+
+
+def safe_ownership_transfer(registry):
+    # the registry owns the segment now; releasing it is its problem
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    registry.append(shm)
+
+
+def safe_return():
+    # returning the handle transfers ownership to the caller
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    return shm
+
+
+def safe_tmp(data, target):
+    fd, tmp = tempfile.mkstemp()
+    try:
+        with os.fdopen(fd, "wb") as handle:  # repro-lint: allow[atomic-write]
+            handle.write(data)
+        os.replace(tmp, target)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def safe_pool(jobs, worker):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return [pool.submit(worker, job).result() for job in jobs]
+    finally:
+        pool.shutdown()
+
+
+class ManagedBlock:
+    """Class-level obligations satisfied: close and unlink both present."""
+
+    def acquire(self):
+        self.shm = shared_memory.SharedMemory(create=True, size=64)
+
+    def release(self):
+        self.shm.close()
+        self.shm.unlink()
+
+
+def suppressed_leak():
+    # justified exception documented here for the corpus
+    shm = shared_memory.SharedMemory(create=True, size=64)  # repro-lint: allow[resource-leak]
+    shm.buf[0] = 1

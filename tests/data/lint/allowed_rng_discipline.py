@@ -1,0 +1,33 @@
+"""Allowed corpus: spawn-derived worker streams, parent keeps its own."""
+import numpy as np
+
+
+def spawned_child_into_pool(pool, worker, entropy):
+    seq = np.random.SeedSequence(entropy)
+    child = seq.spawn(1)[0]
+    rng = np.random.default_rng(child)
+    return pool.submit(worker, rng)
+
+
+def spawn_key_into_pool(pool, worker, entropy, round_index):
+    seq = np.random.SeedSequence(entropy, spawn_key=(round_index,))
+    rng = np.random.default_rng(seq)
+    return pool.submit(worker, rng)
+
+
+def parent_keeps_its_own_stream(pool, worker, entropy):
+    seq = np.random.SeedSequence(entropy)
+    worker_rng = np.random.default_rng(seq.spawn(1)[0])
+    parent_rng = np.random.default_rng(seq.spawn(1)[0])
+    future = pool.submit(worker, worker_rng)
+    return future, parent_rng.random()  # a different stream: fine
+
+
+def entropy_ints_not_generators(pool, worker, entropy, count):
+    # passing seed *material* (ints) is the house style; no generator escapes
+    return [pool.submit(worker, entropy + i) for i in range(count)]
+
+
+def suppressed_unspawned(pool, worker, seed):
+    rng = np.random.default_rng(seed)
+    return pool.submit(worker, rng)  # repro-lint: allow[rng-discipline]

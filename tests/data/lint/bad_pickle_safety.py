@@ -1,0 +1,34 @@
+"""Known-bad corpus: submit() payloads that die at the pickle boundary."""
+
+
+def submit_lambda(pool, values):
+    return pool.submit(lambda value: value + 1, values)
+
+
+def submit_local_function(pool, item):
+    def helper(value):
+        return value * 2
+
+    return pool.submit(helper, item)
+
+
+def submit_lambda_alias(pool, item):
+    transform = lambda value: value - 1  # noqa: E731
+    return pool.submit(transform, item)
+
+
+def submit_bound_method_of_local_class(pool, item):
+    class Local:
+        def work(self, value):
+            return value
+
+    worker = Local()
+    return pool.submit(worker.work, item)
+
+
+def submit_instance_of_local_class(pool, item):
+    class Local:
+        pass
+
+    payload = Local()
+    return pool.submit(item, payload)

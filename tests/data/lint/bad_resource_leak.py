@@ -1,0 +1,41 @@
+"""Known-bad corpus: every acquisition here leaks on some CFG path."""
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def leak_plain():
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    shm.buf[0] = 1
+    # neither close() nor unlink() on any path
+
+
+def leak_on_exception(path, payload):
+    handle = open(path, "w")
+    handle.write(payload)  # may raise -> the close below never runs
+    handle.close()
+
+
+def leak_tmp_path(data):
+    fd, tmp = tempfile.mkstemp()
+    os.close(fd)
+    return len(data)  # tmp is never unlinked or replaced
+
+
+def leak_pool(jobs, worker):
+    pool = ProcessPoolExecutor(max_workers=2)
+    futures = [pool.submit(worker, job) for job in jobs]
+    results = [future.result() for future in futures]  # may raise
+    pool.shutdown()
+    return results
+
+
+class BrokenBlock:
+    """Class-level obligation: the segment is closed but never unlinked."""
+
+    def acquire(self):
+        self.shm = shared_memory.SharedMemory(create=True, size=64)
+
+    def release(self):
+        self.shm.close()

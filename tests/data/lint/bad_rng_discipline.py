@@ -1,0 +1,21 @@
+"""Known-bad corpus: generators cross the pool boundary without discipline."""
+import numpy as np
+
+
+def unspawned_into_pool(pool, worker, seed):
+    rng = np.random.default_rng(seed)  # not SeedSequence.spawn-derived
+    return pool.submit(worker, rng)
+
+
+def unspawned_inside_payload(pool, worker, seed):
+    rng = np.random.default_rng(seed)
+    payload = {"rng": rng, "n": 8}
+    return pool.submit(worker, payload)
+
+
+def parent_draw_after_escape(pool, worker, entropy):
+    seq = np.random.SeedSequence(entropy)
+    rng = np.random.default_rng(seq.spawn(1)[0])
+    future = pool.submit(worker, rng)
+    jitter = rng.random()  # the worker owns that stream now
+    return future, jitter
