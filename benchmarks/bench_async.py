@@ -41,6 +41,7 @@ from repro.network import (
     NetworkSimulator,
     UniformLatency,
 )
+from repro.simulation.io import atomic_write_text
 
 from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
@@ -195,5 +196,5 @@ def test_async_degradation(benchmark, smoke):
         "protocol": "push",
         "results": rows,
     }
-    RESULTS_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(RESULTS_PATH, json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {RESULTS_PATH}")

@@ -42,6 +42,7 @@ from repro.simulation.checkpoint import (
     save_checkpoint,
 )
 from repro.simulation.engine import make_process, measure_convergence_rounds
+from repro.simulation.io import atomic_write_text
 
 from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
@@ -177,5 +178,5 @@ def test_checkpoint_overhead_and_recovery(benchmark, smoke, tmp_path):
         "snapshot_ms": results["snapshot_ms"],
         "recovery": results["recovery"],
     }
-    RESULTS_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(RESULTS_PATH, json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {RESULTS_PATH}")

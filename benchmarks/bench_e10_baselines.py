@@ -32,6 +32,7 @@ from repro.graphs.array_adjacency import ArrayGraph
 from repro.network.message import id_bits_for
 from repro.network.simulator import NetworkSimulator
 from repro.simulation.engine import measure_convergence_rounds
+from repro.simulation.io import atomic_write_text
 
 from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
 
@@ -204,7 +205,7 @@ def test_e10_backend_shootout(benchmark, smoke):
         "warm_rounds": warm_rounds,
         "results": {row["process"]: row for row in rows},
     }
-    RESULTS_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(RESULTS_PATH, json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {RESULTS_PATH}")
     # Acceptance: the packed flooding round (one pass of row unions) beats
     # the list-backend Python triple loop by >=5x at n=1024.

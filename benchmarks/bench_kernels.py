@@ -33,6 +33,7 @@ from repro.graphs import bitset, closure
 from repro.graphs import generators as gen
 from repro.graphs.adjacency import DynamicDiGraph
 from repro.graphs.array_adjacency import ArrayDiGraph, ArrayGraph
+from repro.simulation.io import atomic_write_text
 
 from _bench_helpers import BENCH_SEED, print_table, run_once
 
@@ -183,7 +184,7 @@ def test_bitset_kernel_microbench(benchmark, smoke):
         "predicate_calls": PREDICATE_CALLS,
         "results": {str(n): results[n] for n in sizes},
     }
-    RESULTS_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(RESULTS_PATH, json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {RESULTS_PATH}")
     # Acceptance: >=2x on the closure and convergence kernels at n=1024,
     # ~8x membership memory reduction.

@@ -54,6 +54,7 @@ from repro.graphs import bitset
 from repro.graphs import directed_generators as dgen
 from repro.graphs import generators as gen
 from repro.graphs.closure import IncrementalClosure
+from repro.simulation.io import atomic_write_text
 from repro.simulation.sharding import ShardedProcess
 
 from _bench_helpers import BENCH_SEED, print_table, run_once, trial_count
@@ -201,7 +202,7 @@ def test_sharding_shootout(benchmark, smoke):
         "best_multi_shard_speedup": best,
         "results": results,
     }
-    RESULTS_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(RESULTS_PATH, json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {RESULTS_PATH}")
     # Acceptance: sharded rounds beat unsharded rounds at n >= 2048 even
     # on this host (multi-core hosts add pool scaling on top).
@@ -359,5 +360,5 @@ def test_pr5_incremental_closure_and_sharded_registry(benchmark, smoke):
         "best_closure_speedup": max(r["speedup"] for r in results["closure"]),
         "results": results,
     }
-    PR5_RESULTS_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(PR5_RESULTS_PATH, json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {PR5_RESULTS_PATH}")

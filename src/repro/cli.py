@@ -326,6 +326,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.output:
         argv += ["--output", args.output]
+    if args.changed_only:
+        argv.append("--changed-only")
+    if args.no_summaries:
+        argv.append("--no-summaries")
+    if args.summary_cache:
+        argv += ["--summary-cache", args.summary_cache]
+    for pattern in args.exclude or []:
+        argv += ["--exclude", pattern]
     return lint_main(argv)
 
 
@@ -552,6 +560,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write a JSON findings report to PATH (atomically)",
+    )
+    p_lint.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed vs. the merge-base with main (plus untracked)",
+    )
+    p_lint.add_argument(
+        "--no-summaries",
+        action="store_true",
+        help="disable interprocedural function summaries (intraprocedural only)",
+    )
+    p_lint.add_argument(
+        "--summary-cache",
+        default=None,
+        metavar="PATH",
+        help="persist function summaries to PATH keyed by file sha256",
+    )
+    p_lint.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help="skip files matching GLOB (repeatable)",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

@@ -367,6 +367,10 @@ def transitive_closure_bits(bits: np.ndarray, n_bits: int) -> np.ndarray:
     for k in range(n_bits):
         into_k = (reach[:, k >> 6] & np.uint64(1 << (k & 63))) != 0
         if into_k.any():
+            # The pivot row aliases the output, but benignly: OR is
+            # idempotent, so even if row k is merged into itself first the
+            # other rows absorb the same (unchanged) word values.
+            # repro-lint: allow[kernel-contract]
             np.bitwise_or(reach, reach[k][None, :], out=reach, where=into_k[:, None])
     return reach
 

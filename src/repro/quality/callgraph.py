@@ -1,0 +1,520 @@
+"""Project-wide call graph for the interprocedural lint rules.
+
+The flow-sensitive rules in :mod:`repro.quality.flow_checkers` reason
+about one function body at a time; every call used to be an analysis
+hole they papered over conservatively ("passing a handle to *any* call
+transfers ownership").  This module supplies the structure the
+:mod:`repro.quality.summaries` engine needs to do better: an index of
+every module, class and function in the linted file set, a resolver
+that turns a call expression into the :class:`FunctionInfo` it invokes,
+and the strongly-connected components of the resulting graph so
+summaries can be iterated bottom-up with recursion handled by a fixed
+point instead of unbounded inlining.
+
+Resolution handles the forms the codebase actually uses:
+
+* plain names (``helper(...)``), including functions nested in the
+  calling function's scope chain;
+* import aliases, both module- and object-level (``import x as y;
+  y.f(...)``, ``from pkg.mod import f as g; g(...)``) — resolved through
+  the same alias map the syntax checkers use;
+* ``self.method(...)`` / ``cls.method(...)`` inside a class body, and
+  unbound ``ClassName.method(...)`` access, with ``staticmethod`` /
+  ``classmethod`` argument offsets accounted for;
+* fully-dotted paths (``repro.graphs.bitset.or_rows(...)``) against the
+  indexed module set.
+
+Decorated functions resolve to themselves when every decorator is
+*identity-preserving*: the known ``functools`` wrappers, ``staticmethod``
+/ ``classmethod`` / ``property``, or a project-defined decorator whose
+body is the ``functools.wraps`` pattern (an inner ``def`` decorated with
+``wraps(func)`` and returned).  Any other decorator marks the function
+*opaque* — it still resolves (the call edge exists for SCC purposes) but
+the summary engine refuses to trust its body, because the wrapper may do
+anything.
+
+Everything here is deliberately syntactic: no imports are executed, so
+linting a file set can never run project code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.quality.framework import _canonical_name, _import_aliases
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "CallGraph",
+    "CallResolution",
+    "build_call_graph",
+    "module_name_for",
+]
+
+#: decorators that provably preserve the decorated function's identity
+#: and body semantics for summary purposes.
+_TRANSPARENT_DECORATORS = frozenset(
+    {
+        "staticmethod",
+        "classmethod",
+        "property",
+        "functools.wraps",
+        "functools.lru_cache",
+        "functools.cache",
+        "functools.cached_property",
+    }
+)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, derived from ``__init__.py`` parents.
+
+    ``src/repro/graphs/bitset.py`` → ``repro.graphs.bitset``; a file whose
+    directory is not a package (a benchmark script, a lint fixture) is its
+    bare stem.  Purely filesystem-based — nothing is imported.
+    """
+    parts: List[str] = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if path.name == "__init__.py":
+        parts = parts[1:] or [path.parent.name]
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method.
+
+    ``key`` is globally unique (``module:qualname``); ``qualname`` is the
+    module-relative dotted path (``Class.method``, ``outer.inner``).
+    ``params`` is the *full* positional parameter tuple — for methods it
+    includes ``self``/``cls``; call-site argument mapping applies the
+    binding offset from :class:`CallResolution`.
+    """
+
+    key: str
+    module: str
+    path: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]
+    has_star: bool
+    class_qual: Optional[str]
+    kind: str  # "function" | "method" | "staticmethod" | "classmethod"
+    transparent: bool
+    is_generator: bool
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def param_index(self, keyword: str) -> Optional[int]:
+        """Index of a keyword argument in the full parameter tuple."""
+        try:
+            return self.params.index(keyword)
+        except ValueError:
+            return None
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed source file: aliases plus its function/class namespaces."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: module-relative qualname -> function key (every function, any depth)
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: class qualname -> {method name -> function key}
+    classes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallResolution:
+    """A resolved call site: the callee plus the argument-binding offset.
+
+    ``arg_offset`` is how many leading parameters are bound implicitly by
+    the call form (1 for ``self.m(...)`` on an instance method or
+    ``cls``/``self`` access to a classmethod, 0 otherwise), so positional
+    argument ``i`` at the call site binds ``info.params[i + arg_offset]``.
+    """
+
+    info: FunctionInfo
+    arg_offset: int
+
+    def param_for_positional(self, position: int) -> Optional[int]:
+        """Full-tuple parameter index bound by positional arg ``position``."""
+        index = position + self.arg_offset
+        if index < len(self.info.params):
+            return index
+        return None  # lands in *args (or is an arity error) — unknown
+
+    def param_for_keyword(self, keyword: str) -> Optional[int]:
+        """Full-tuple parameter index bound by keyword arg ``keyword``."""
+        return self.info.param_index(keyword)
+
+
+def _params_of(node: ast.AST) -> Tuple[Tuple[str, ...], bool]:
+    args = node.args  # type: ignore[attr-defined]
+    ordered = list(args.posonlyargs) + list(args.args)
+    has_star = bool(args.vararg or args.kwarg or args.kwonlyargs)
+    return tuple(a.arg for a in ordered), has_star
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    """Whether the function body yields (its body does not run at call time)."""
+    for sub in _walk_own(node):
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        yield sub
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+class CallGraph:
+    """The project index plus resolved call edges and their SCC order."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: caller key -> resolved callee keys (deduplicated)
+        self.edges: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # indexing
+    # ------------------------------------------------------------------ #
+    def add_module(self, path: Path, tree: ast.Module, display: str) -> ModuleInfo:
+        name = module_name_for(path)
+        module = ModuleInfo(
+            name=name, path=display, tree=tree, aliases=_import_aliases(tree)
+        )
+        self._index_body(module, tree.body, prefix="", class_qual=None)
+        self.modules[name] = module
+        self.modules_by_path[display] = module
+        return module
+
+    def _index_body(
+        self,
+        module: ModuleInfo,
+        body: Sequence[ast.stmt],
+        prefix: str,
+        class_qual: Optional[str],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{stmt.name}"
+                kind = "function"
+                if class_qual is not None:
+                    kind = "method"
+                    for deco in stmt.decorator_list:
+                        deco_name = _canonical_name(deco, module.aliases)
+                        if deco_name == "staticmethod":
+                            kind = "staticmethod"
+                        elif deco_name == "classmethod":
+                            kind = "classmethod"
+                params, has_star = _params_of(stmt)
+                key = f"{module.name}:{qual}"
+                info = FunctionInfo(
+                    key=key,
+                    module=module.name,
+                    path=module.path,
+                    qualname=qual,
+                    node=stmt,
+                    params=params,
+                    has_star=has_star,
+                    class_qual=class_qual,
+                    kind=kind,
+                    transparent=self._is_transparent(stmt, module),
+                    is_generator=_contains_yield(stmt),
+                )
+                self.functions[key] = info
+                module.functions[qual] = key
+                if class_qual is not None:
+                    module.classes.setdefault(class_qual, {})[stmt.name] = key
+                # Nested defs: indexed for scope-chain resolution.
+                self._index_body(module, stmt.body, qual + ".", None)
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qual = f"{prefix}{stmt.name}"
+                module.classes.setdefault(cls_qual, {})
+                self._index_body(module, stmt.body, cls_qual + ".", cls_qual)
+            else:
+                # Compound statements can hide defs (e.g. under TYPE_CHECKING
+                # or try/except import fallbacks).
+                for inner in self._nested_bodies(stmt):
+                    self._index_body(module, inner, prefix, class_qual)
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+        for fname in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, fname, None)
+            if nested and all(isinstance(s, ast.stmt) for s in nested):
+                yield nested
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield handler.body
+        for case in getattr(stmt, "cases", []) or []:
+            yield case.body
+
+    # ------------------------------------------------------------------ #
+    # decorator transparency
+    # ------------------------------------------------------------------ #
+    def _is_transparent(self, node: ast.AST, module: ModuleInfo) -> bool:
+        decorators = list(getattr(node, "decorator_list", []))
+        for deco in decorators:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _canonical_name(target, module.aliases)
+            if name in _TRANSPARENT_DECORATORS:
+                continue
+            if name is not None and self._is_wraps_decorator(name, module):
+                continue
+            return False
+        return True
+
+    def _is_wraps_decorator(self, name: str, module: ModuleInfo) -> bool:
+        """Whether ``name`` is a project decorator built on ``functools.wraps``.
+
+        Matches the canonical shape: ``def deco(func): @wraps(func) def
+        wrapper(...): ...; return wrapper``.  Looked up first in the
+        defining module, then across the indexed project.
+        """
+        info = self._lookup_local(module, name) or self._lookup_dotted(name)
+        if info is None or not isinstance(
+            info.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return False
+        if not info.params:
+            return False
+        wrapped_param = info.params[0]
+        deco_module = self.modules.get(info.module)
+        aliases = deco_module.aliases if deco_module else {}
+        wraps_inner: Set[str] = set()
+        for stmt in info.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner_deco in stmt.decorator_list:
+                    if (
+                        isinstance(inner_deco, ast.Call)
+                        and _canonical_name(inner_deco.func, aliases)
+                        == "functools.wraps"
+                        and inner_deco.args
+                        and isinstance(inner_deco.args[0], ast.Name)
+                        and inner_deco.args[0].id == wrapped_param
+                    ):
+                        wraps_inner.add(stmt.name)
+        if not wraps_inner:
+            return False
+        for stmt in ast.walk(info.node):
+            if (
+                isinstance(stmt, ast.Return)
+                and isinstance(stmt.value, ast.Name)
+                and stmt.value.id in wraps_inner
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    def _lookup_local(self, module: ModuleInfo, dotted: str) -> Optional[FunctionInfo]:
+        key = module.functions.get(dotted)
+        return self.functions.get(key) if key is not None else None
+
+    def _lookup_dotted(self, dotted: str) -> Optional[FunctionInfo]:
+        """Resolve a canonical dotted path against the indexed modules.
+
+        Tries every split of ``dotted`` into ``module + qualname``, longest
+        module prefix first, so ``repro.graphs.bitset.or_rows`` finds the
+        ``or_rows`` of module ``repro.graphs.bitset``.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            qual = ".".join(parts[cut:])
+            key = module.functions.get(qual)
+            if key is not None:
+                return self.functions[key]
+        return None
+
+    def resolve(
+        self, call: ast.Call, module: ModuleInfo, scope_qualname: str
+    ) -> Optional[CallResolution]:
+        """Resolve one call expression made from ``scope_qualname``.
+
+        ``scope_qualname`` is the module-relative qualname of the calling
+        scope (``"<module>"`` for module level).  Returns ``None`` when the
+        callee is not an indexed project function — the caller must treat
+        the call conservatively.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, module, scope_qualname)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, module, scope_qualname)
+        return None
+
+    def _resolve_name(
+        self, name: str, module: ModuleInfo, scope_qualname: str
+    ) -> Optional[CallResolution]:
+        # 1. the caller's lexical scope chain, innermost first (nested defs).
+        if scope_qualname != "<module>":
+            prefix_parts = scope_qualname.split(".")
+            for depth in range(len(prefix_parts), 0, -1):
+                candidate = ".".join(prefix_parts[:depth]) + "." + name
+                info = self._lookup_local(module, candidate)
+                if info is not None and info.class_qual is None:
+                    return CallResolution(info, 0)
+        # 2. module top level.
+        info = self._lookup_local(module, name)
+        if info is not None and info.class_qual is None:
+            return CallResolution(info, 0)
+        # 3. an object-level import alias (``from m import f as g``).
+        dotted = module.aliases.get(name)
+        if dotted is not None:
+            target = self._lookup_dotted(dotted)
+            if target is not None and target.class_qual is None:
+                return CallResolution(target, 0)
+        return None
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, module: ModuleInfo, scope_qualname: str
+    ) -> Optional[CallResolution]:
+        attr = func.attr
+        value = func.value
+        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+            cls_qual = self._enclosing_class(module, scope_qualname)
+            if cls_qual is not None:
+                key = module.classes.get(cls_qual, {}).get(attr)
+                if key is not None:
+                    info = self.functions[key]
+                    offset = 0 if info.kind == "staticmethod" else 1
+                    return CallResolution(info, offset)
+            return None
+        dotted = _canonical_name(func, module.aliases)
+        if dotted is None:
+            return None
+        # ``ClassName.method(...)`` in the same module: unbound access —
+        # no implicit receiver for instance methods, one for classmethods.
+        head, _, tail = dotted.rpartition(".")
+        if head in module.classes and tail in module.classes[head]:
+            info = self.functions[module.classes[head][tail]]
+            offset = 1 if info.kind == "classmethod" else 0
+            return CallResolution(info, offset)
+        target = self._lookup_dotted(dotted)
+        if target is not None:
+            if target.class_qual is not None:
+                offset = 1 if target.kind == "classmethod" else 0
+                return CallResolution(target, offset)
+            return CallResolution(target, 0)
+        return None
+
+    @staticmethod
+    def _enclosing_class(module: ModuleInfo, scope_qualname: str) -> Optional[str]:
+        """The registered class qualname enclosing ``scope_qualname``."""
+        parts = scope_qualname.split(".")
+        for depth in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:depth])
+            if candidate in module.classes:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------ #
+    # edges and SCC order
+    # ------------------------------------------------------------------ #
+    def build_edges(self) -> None:
+        """Populate :attr:`edges` by resolving every call in every function."""
+        for info in self.functions.values():
+            module = self.modules.get(info.module)
+            callees: Set[str] = set()
+            if module is not None:
+                for sub in _walk_own(info.node):
+                    if isinstance(sub, ast.Call):
+                        resolved = self.resolve(sub, module, info.qualname)
+                        if resolved is not None:
+                            callees.add(resolved.info.key)
+            self.edges[info.key] = callees
+
+    def sccs_bottom_up(self) -> List[List[str]]:
+        """Strongly-connected components in reverse topological order.
+
+        Callees come before callers, so a bottom-up summary pass can
+        process the returned list front to back; mutual recursion lands in
+        one component to be iterated to a fixed point.  Iterative Tarjan —
+        no recursion, so pathological call chains cannot blow the stack.
+        """
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = 0
+
+        for root in sorted(self.functions):
+            if root in index_of:
+                continue
+            work: List[Tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(self.edges.get(root, ()))))
+            ]
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in self.functions:
+                        continue
+                    if child not in index_of:
+                        index_of[child] = lowlink[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(self.edges.get(child, ())))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(sorted(component))
+        return sccs
+
+
+def build_call_graph(
+    files: Sequence[Tuple[Path, ast.Module, str]],
+) -> CallGraph:
+    """Index ``(path, parsed tree, display name)`` triples into a call graph."""
+    graph = CallGraph()
+    for path, tree, display in files:
+        graph.add_module(path, tree, display)
+    graph.build_edges()
+    return graph

@@ -275,6 +275,10 @@ class _Builder:
         self.exc_stack: List[int] = [self.cfg.raise_exit]
         # (loop head index, list collecting `break` sources) per open loop.
         self.loop_stack: List[Tuple[int, List[int]]] = []
+        # Open ``finally`` gates: a ``return`` unwinds through the
+        # innermost one instead of jumping straight to ``exit``, so
+        # releases in the finally body are seen on the return path.
+        self.fin_stack: List[int] = []
 
     # -- small helpers ------------------------------------------------- #
     def _connect(self, preds: Sequence[int], dst: int, kind: str = NORMAL) -> None:
@@ -310,7 +314,11 @@ class _Builder:
             return self._build_match(stmt, preds)
         node = self._stmt_node("stmt", stmt, preds)
         if isinstance(stmt, ast.Return):
-            self.cfg._edge(node.index, self.cfg.exit)
+            # A return inside try/finally unwinds through the finally
+            # body (whose fall-through/reraise continuations then apply);
+            # only with no open finally does it reach ``exit`` directly.
+            target = self.fin_stack[-1] if self.fin_stack else self.cfg.exit
+            self.cfg._edge(node.index, target)
             return []
         if isinstance(stmt, ast.Raise):
             self.cfg._edge(node.index, self.exc_stack[-1], EXCEPTION)
@@ -377,6 +385,8 @@ class _Builder:
         # dispatching: the finally gate if there is one, else outward.
         after_exc = fin_gate.index if fin_gate is not None else self.exc_stack[-1]
 
+        if fin_gate is not None:
+            self.fin_stack.append(fin_gate.index)
         self.exc_stack.append(dispatch.index)
         body_out = self.build_body(stmt.body, list(preds))
         self.exc_stack.pop()
@@ -395,6 +405,8 @@ class _Builder:
         if not any(_is_catch_all(handler) for handler in stmt.handlers):
             self.cfg._edge(dispatch.index, after_exc, EXCEPTION)
         self.exc_stack.pop()
+        if fin_gate is not None:
+            self.fin_stack.pop()
 
         if not has_finally:
             return else_out + handler_out

@@ -19,7 +19,14 @@ import ast
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Set
 
-from repro.quality.framework import Checker, FileContext, Finding, register_checker
+from repro.quality.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    _canonical_name,
+    _import_aliases,
+    register_checker,
+)
 
 __all__ = [
     "DeterminismChecker",
@@ -27,54 +34,6 @@ __all__ = [
     "ExceptionHygieneChecker",
     "AtomicWriteChecker",
 ]
-
-
-# --------------------------------------------------------------------------- #
-# shared AST helpers
-# --------------------------------------------------------------------------- #
-def _import_aliases(tree: ast.Module) -> Dict[str, str]:
-    """Map local names to the canonical dotted module/object they bind.
-
-    ``import numpy as np`` -> ``{"np": "numpy"}``; ``from datetime import
-    datetime as dt`` -> ``{"dt": "datetime.datetime"}``.  Only top-of-tree
-    walk — nested/function-local imports are included too (the canonical
-    name is what matters, not where the binding happened).
-    """
-    aliases: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".")[0]
-                canonical = alias.name if alias.asname else alias.name.split(".")[0]
-                aliases[local] = canonical
-        elif isinstance(node, ast.ImportFrom):
-            if node.level or node.module is None:
-                continue  # relative imports never bind the banned stdlib names
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                aliases[local] = f"{node.module}.{alias.name}"
-    return aliases
-
-
-def _canonical_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-    """Resolve an expression to a canonical dotted name, or ``None``.
-
-    Walks ``Attribute`` chains down to a root ``Name`` and substitutes the
-    import alias.  Chains rooted in anything else (a call result, a
-    subscript) resolve to ``None`` — ``default_rng(0).random()`` is a draw
-    from an *explicitly seeded* generator and must not be flagged.
-    """
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    root = aliases.get(node.id, node.id)
-    parts.append(root)
-    return ".".join(reversed(parts))
 
 
 # --------------------------------------------------------------------------- #
@@ -388,7 +347,8 @@ class AtomicWriteChecker(Checker):
 
 
 # Importing this module is the "load the built-in rules" hook (framework
-# does it lazily); pull in the project-scope checker and the flow-sensitive
-# CFG/dataflow rules as part of that.
+# does it lazily); pull in the project-scope checker, the flow-sensitive
+# CFG/dataflow rules and the packed-kernel contract rule as part of that.
 from repro.quality import flow_checkers as _flow_checkers  # noqa: E402,F401
+from repro.quality import kernel_contracts as _kernel_contracts  # noqa: E402,F401
 from repro.quality import registry_check as _registry_check  # noqa: E402,F401

@@ -25,10 +25,22 @@ them statically:
   instances of classes that are not importable at module level: all of
   them fail to pickle only once a worker pool is actually in play.
 
-Known imprecision (see ``docs/linting.md``): passing a handle to *any*
-call transfers ownership, the single-copy ``finally`` merges
-continuations, and only locally-constructed generators are typed.  All
-three rules err quiet on unknowns and loud on paths they can prove.
+Since PR 10 the two resource/RNG rules are *interprocedural* when the
+run carries a project context (:class:`~repro.quality.summaries.ProjectContext`
+on :attr:`FileContext.project`): a call that resolves to an indexed
+project function is judged by that callee's summary — a helper that
+releases its argument on every path discharges the caller's obligation,
+a helper that merely reads it leaves the obligation live (the old
+"passing a handle to *any* call transfers ownership" hole), a helper
+that *returns* a fresh resource creates an obligation at the call site,
+and a callee that draws from a generator parameter counts as a parent
+draw.  Without the context (``lint_text``, ``--no-summaries``) every
+rule degrades to exactly the old per-function conservatism.
+
+Known imprecision (see ``docs/linting.md``): unresolved calls still
+transfer ownership, the single-copy ``finally`` merges continuations,
+and only locally-constructed (or summary-proven) generators are typed.
+All three rules err quiet on unknowns and loud on paths they can prove.
 """
 
 from __future__ import annotations
@@ -47,14 +59,32 @@ from typing import (
 )
 
 from repro.quality.cfg import CFG, CFGNode, EXCEPTION, ScopeNode, build_cfg
-from repro.quality.checkers import _canonical_name, _import_aliases
 from repro.quality.dataflow import (
     Analysis,
     ReachingDefinitions,
     assigned_names,
     solve_forward,
 )
-from repro.quality.framework import Checker, FileContext, Finding, register_checker
+from repro.quality.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    _canonical_name,
+    _import_aliases,
+    register_checker,
+)
+from repro.quality.summaries import (
+    ACTION_HINT as _ACTION_HINT,
+    DRAW_METHODS as _DRAW_METHODS,
+    GENERATOR_CTORS as _GENERATOR_CTORS,
+    OS_RELEASES as _OS_RELEASES,
+    RELEASE_METHODS as _RELEASE_METHODS,
+    WRITE_MODE_CHARS as _WRITE_MODE_CHARS,
+    ModuleResolver,
+    call_argument_effects,
+    resource_of_call as _resource_of_call,
+    stored_names as _stored_names,
+)
 
 __all__ = [
     "ResourceLeakChecker",
@@ -180,36 +210,6 @@ def _iter_scopes(tree: ast.Module) -> Iterator[_Scope]:
 # --------------------------------------------------------------------------- #
 # small expression helpers
 # --------------------------------------------------------------------------- #
-def _stored_names(expr: Optional[ast.AST]) -> Set[str]:
-    """Names whose *object itself* is stored/aliased by ``expr``.
-
-    ``shm`` in ``refs.append(shm)`` or ``pair = (fd, tmp)`` aliases the
-    resource; ``f`` in ``f.read()`` or ``f.name`` does not (only a
-    method/attribute of it is used).  Containers recurse, attribute and
-    subscript accesses stop.
-    """
-    names: Set[str] = set()
-    if expr is None:
-        return names
-    if isinstance(expr, ast.Name):
-        names.add(expr.id)
-    elif isinstance(expr, ast.Starred):
-        names |= _stored_names(expr.value)
-    elif isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
-        for element in expr.elts:
-            names |= _stored_names(element)
-    elif isinstance(expr, ast.Dict):
-        for key in expr.keys:
-            names |= _stored_names(key)
-        for value in expr.values:
-            names |= _stored_names(value)
-    elif isinstance(expr, ast.IfExp):
-        names |= _stored_names(expr.body) | _stored_names(expr.orelse)
-    elif isinstance(expr, (ast.Await, ast.Yield, ast.YieldFrom)):
-        names |= _stored_names(getattr(expr, "value", None))
-    return names
-
-
 def _iter_calls(parts: Sequence[ast.AST]) -> Iterator[ast.Call]:
     for part in parts:
         for sub in ast.walk(part):
@@ -238,74 +238,6 @@ def _kwarg(call: ast.Call, name: str) -> Optional[ast.expr]:
 # --------------------------------------------------------------------------- #
 #: an unmet obligation: (variable, required action, alloc line, description)
 _Obligation = Tuple[str, str, int, str]
-
-_WRITE_MODE_CHARS = frozenset("wax+")
-
-#: method names that discharge the matching action on the receiver
-_RELEASE_METHODS: Dict[str, str] = {
-    "close": "close",
-    "unlink": "unlink",
-    "shutdown": "shutdown",
-}
-
-#: ``os.*`` functions that discharge an action on their first argument
-_OS_RELEASES: Dict[str, str] = {
-    "os.close": "close",
-    "os.unlink": "unlink",
-    "os.remove": "unlink",
-    "os.replace": "unlink",
-    "os.rename": "unlink",
-}
-
-_ACTION_HINT: Dict[str, str] = {
-    "close": ".close()",
-    "unlink": ".unlink() (or os.unlink/os.replace for paths)",
-    "shutdown": ".shutdown()",
-}
-
-
-def _open_mode(call: ast.Call) -> Optional[str]:
-    """The constant mode string of an ``open``-family call, if present."""
-    candidates: List[ast.expr] = list(call.args[1:2])
-    mode_kw = _kwarg(call, "mode")
-    if mode_kw is not None:
-        candidates.append(mode_kw)
-    for candidate in candidates:
-        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
-            return candidate.value
-    return None
-
-
-def _resource_of_call(
-    call: ast.Call, aliases: Dict[str, str]
-) -> Optional[Tuple[str, FrozenSet[str]]]:
-    """``(description, required actions)`` if ``call`` acquires a resource."""
-    name = _canonical_name(call.func, aliases)
-    if name is None:
-        if isinstance(call.func, ast.Attribute) and call.func.attr == "open":
-            mode = _open_mode(call)
-            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
-                return (f"writable .open(..., {mode!r}) handle", frozenset({"close"}))
-        return None
-    if name == "multiprocessing.shared_memory.SharedMemory":
-        create = _kwarg(call, "create")
-        if isinstance(create, ast.Constant) and create.value is True:
-            return (
-                "shared_memory.SharedMemory(create=True)",
-                frozenset({"close", "unlink"}),
-            )
-        return ("shared_memory.SharedMemory attachment", frozenset({"close"}))
-    if name in ("open", "os.fdopen") or name.endswith(".open"):
-        mode = _open_mode(call)
-        if mode is not None and set(mode) & _WRITE_MODE_CHARS:
-            return (f"writable {name}(..., {mode!r}) handle", frozenset({"close"}))
-        return None
-    if name in (
-        "concurrent.futures.ProcessPoolExecutor",
-        "concurrent.futures.ThreadPoolExecutor",
-    ):
-        return (name.rsplit(".", 1)[1], frozenset({"shutdown"}))
-    return None
 
 
 @dataclass
@@ -386,13 +318,38 @@ class ResourceLeakChecker(Checker):
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         aliases = _import_aliases(ctx.tree)
+        resolver = (
+            ctx.project.resolver_for(ctx.display) if ctx.project is not None else None
+        )
         for scope in _iter_scopes(ctx.tree):
-            yield from self._check_scope(scope, aliases, ctx)
+            yield from self._check_scope(scope, aliases, ctx, resolver)
         yield from self._check_classes(ctx.tree, aliases, ctx)
 
     # -- local (flow-sensitive) obligations ----------------------------- #
+    def _returned_resource(
+        self,
+        call: ast.Call,
+        resolver: Optional[ModuleResolver],
+        scope_name: str,
+    ) -> Optional[Tuple[str, FrozenSet[str]]]:
+        """A fresh resource handed back by a summarised project callee."""
+        if resolver is None:
+            return None
+        resolved = resolver.resolve_call(call, scope_name)
+        if resolved is None or not resolved[1].trusted:
+            return None
+        returned = resolved[1].returns_resource
+        if returned is None:
+            return None
+        desc, actions = returned
+        return (f"{desc} (returned by {resolved[0].info.qualname})", actions)
+
     def _node_effects(
-        self, node: CFGNode, aliases: Dict[str, str]
+        self,
+        node: CFGNode,
+        aliases: Dict[str, str],
+        resolver: Optional[ModuleResolver],
+        scope_name: str,
     ) -> Optional[_NodeEffects]:
         stmt = node.stmt
         parts = node.evaluated()
@@ -404,7 +361,9 @@ class ResourceLeakChecker(Checker):
             value = stmt.value
             targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
             if isinstance(value, ast.Call):
-                resource = _resource_of_call(value, aliases)
+                resource = _resource_of_call(value, aliases) or self._returned_resource(
+                    value, resolver, scope_name
+                )
                 canonical = _canonical_name(value.func, aliases)
                 if canonical == "tempfile.mkstemp" and len(targets) == 1:
                     target = targets[0]
@@ -434,19 +393,39 @@ class ResourceLeakChecker(Checker):
             if canonical in _OS_RELEASES:
                 if call.args and isinstance(call.args[0], ast.Name):
                     releases.add((call.args[0].id, _OS_RELEASES[canonical]))
-            elif (
+                continue
+            if (
                 isinstance(func, ast.Attribute)
                 and isinstance(func.value, ast.Name)
                 and func.attr in _RELEASE_METHODS
             ):
                 releases.add((func.value.id, _RELEASE_METHODS[func.attr]))
-            # Ownership transfer: the handle itself passed to any call.
-            for arg in _call_arg_exprs(call):
-                escapes |= _stored_names(arg)
+            resolved = (
+                resolver.resolve_call(call, scope_name)
+                if resolver is not None
+                else None
+            )
+            if resolved is not None:
+                # The callee's summary judges each argument: releases
+                # discharge, escapes transfer ownership, kept arguments
+                # leave the caller's obligation live — the precision the
+                # old "any call transfers ownership" rule threw away.
+                fx = call_argument_effects(call, resolved[0], resolved[1])
+                releases.update(fx.releases)
+                escapes |= fx.escapes
+            else:
+                # Ownership transfer: the handle passed to an unknown call.
+                for arg in _call_arg_exprs(call):
+                    escapes |= _stored_names(arg)
 
         # Ownership transfer: returned, raised, yielded, aliased, deleted.
         if node.kind == "stmt":
-            if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return):
+                # Only the object itself transfers — ``return shm`` hands
+                # ownership to the caller, ``return shm.size`` does not
+                # (call arguments inside the value were judged above).
+                escapes |= _stored_names(stmt.value)
+            elif isinstance(stmt, ast.Raise):
                 for sub in ast.walk(stmt):
                     if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
                         escapes.add(sub.id)
@@ -473,12 +452,16 @@ class ResourceLeakChecker(Checker):
         )
 
     def _check_scope(
-        self, scope: _Scope, aliases: Dict[str, str], ctx: FileContext
+        self,
+        scope: _Scope,
+        aliases: Dict[str, str],
+        ctx: FileContext,
+        resolver: Optional[ModuleResolver],
     ) -> Iterator[Finding]:
         effects: Dict[int, _NodeEffects] = {}
         any_gen = False
         for node in scope.cfg.stmt_nodes():
-            fx = self._node_effects(node, aliases)
+            fx = self._node_effects(node, aliases, resolver, scope.name)
             if fx is not None:
                 effects[node.index] = fx
                 any_gen = any_gen or bool(fx.gens)
@@ -560,34 +543,6 @@ class ResourceLeakChecker(Checker):
 # --------------------------------------------------------------------------- #
 # rng-discipline
 # --------------------------------------------------------------------------- #
-#: Generator methods that consume draws (advancing the stream)
-_DRAW_METHODS = frozenset(
-    {
-        "random",
-        "integers",
-        "choice",
-        "shuffle",
-        "permutation",
-        "permuted",
-        "uniform",
-        "normal",
-        "standard_normal",
-        "standard_exponential",
-        "standard_gamma",
-        "exponential",
-        "poisson",
-        "binomial",
-        "beta",
-        "gamma",
-        "bytes",
-    }
-)
-
-_GENERATOR_CTORS = frozenset(
-    {"numpy.random.default_rng", "numpy.random.Generator"}
-)
-
-
 class _EscapedSetAnalysis(Analysis[FrozenSet[str]]):
     """Forward may-analysis of names escaped into a pool submission."""
 
@@ -627,14 +582,27 @@ class RngDisciplineChecker(Checker):
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         aliases = _import_aliases(ctx.tree)
+        resolver = (
+            ctx.project.resolver_for(ctx.display) if ctx.project is not None else None
+        )
         for scope in _iter_scopes(ctx.tree):
-            yield from self._check_scope(scope, aliases, ctx)
+            yield from self._check_scope(scope, aliases, ctx, resolver)
 
     # -- construction provenance ---------------------------------------- #
     def _generator_def(
-        self, node: CFGNode, aliases: Dict[str, str]
+        self,
+        node: CFGNode,
+        aliases: Dict[str, str],
+        resolver: Optional[ModuleResolver],
+        scope_name: str,
     ) -> Optional[Tuple[str, Optional[ast.expr]]]:
-        """``(name, seed expr)`` if ``node`` binds a Generator to a Name."""
+        """``(name, seed expr)`` if ``node`` binds a Generator to a Name.
+
+        With a project context, ``rng = make_rng(...)`` where the callee's
+        summary proves ``returns_spawn_rng`` also counts — the seed expr is
+        the call itself, which :meth:`_spawn_derived` then re-validates
+        through the same summary.
+        """
         stmt = node.stmt
         if node.kind != "stmt" or not isinstance(stmt, ast.Assign):
             return None
@@ -643,10 +611,18 @@ class RngDisciplineChecker(Checker):
         value = stmt.value
         if not isinstance(value, ast.Call):
             return None
-        if _canonical_name(value.func, aliases) not in _GENERATOR_CTORS:
-            return None
-        seed = value.args[0] if value.args else _kwarg(value, "seed")
-        return (stmt.targets[0].id, seed)
+        if _canonical_name(value.func, aliases) in _GENERATOR_CTORS:
+            seed = value.args[0] if value.args else _kwarg(value, "seed")
+            return (stmt.targets[0].id, seed)
+        if resolver is not None:
+            resolved = resolver.resolve_call(value, scope_name)
+            if (
+                resolved is not None
+                and resolved[1].trusted
+                and resolved[1].returns_spawn_rng
+            ):
+                return (stmt.targets[0].id, value)
+        return None
 
     def _spawn_derived(
         self,
@@ -655,6 +631,7 @@ class RngDisciplineChecker(Checker):
         scope: _Scope,
         aliases: Dict[str, str],
         seen: Set[Tuple[str, int]],
+        resolver: Optional[ModuleResolver],
     ) -> bool:
         """Whether ``expr`` provably derives from spawn/spawn_key material."""
         if expr is None:
@@ -666,9 +643,19 @@ class RngDisciplineChecker(Checker):
             canonical = _canonical_name(func, aliases)
             if canonical == "numpy.random.SeedSequence":
                 return _kwarg(expr, "spawn_key") is not None
+            if resolver is not None:
+                resolved = resolver.resolve_call(expr, scope.name)
+                if (
+                    resolved is not None
+                    and resolved[1].trusted
+                    and resolved[1].returns_spawn_rng
+                ):
+                    return True
             return False
         if isinstance(expr, ast.Subscript):
-            return self._spawn_derived(expr.value, at_node, scope, aliases, seen)
+            return self._spawn_derived(
+                expr.value, at_node, scope, aliases, seen, resolver
+            )
         if isinstance(expr, ast.Name):
             key = (expr.id, at_node)
             if key in seen:
@@ -682,7 +669,7 @@ class RngDisciplineChecker(Checker):
                 if not isinstance(stmt, ast.Assign):
                     return False
                 if not self._spawn_derived(
-                    stmt.value, def_node.index, scope, aliases, seen
+                    stmt.value, def_node.index, scope, aliases, seen, resolver
                 ):
                     return False
             return True
@@ -712,11 +699,15 @@ class RngDisciplineChecker(Checker):
         return names
 
     def _check_scope(
-        self, scope: _Scope, aliases: Dict[str, str], ctx: FileContext
+        self,
+        scope: _Scope,
+        aliases: Dict[str, str],
+        ctx: FileContext,
+        resolver: Optional[ModuleResolver],
     ) -> Iterator[Finding]:
         gen_defs: Dict[int, Tuple[str, Optional[ast.expr]]] = {}
         for node in scope.cfg.stmt_nodes():
-            found = self._generator_def(node, aliases)
+            found = self._generator_def(node, aliases, resolver, scope.name)
             if found is not None:
                 gen_defs[node.index] = found
         if not gen_defs:
@@ -743,7 +734,7 @@ class RngDisciplineChecker(Checker):
                     for site in gen_sites:
                         _, seed = gen_defs[site]
                         if not self._spawn_derived(
-                            seed, site, scope, aliases, set()
+                            seed, site, scope, aliases, set(), resolver
                         ):
                             findings.append(
                                 self.finding(
@@ -785,6 +776,22 @@ class RngDisciplineChecker(Checker):
                         f"parent draws from generator {func.value.id!r} after it "
                         "escaped into a pool submit() — the worker owns that "
                         "stream now; respawn a child stream instead",
+                    )
+                    continue
+                if resolver is None or _is_submit_call(call):
+                    continue
+                resolved = resolver.resolve_call(call, scope.name)
+                if resolved is None:
+                    continue
+                fx = call_argument_effects(call, resolved[0], resolved[1])
+                for name in sorted(fx.draws & escaped):
+                    yield self.finding(
+                        ctx,
+                        node.line,
+                        f"parent passes escaped generator {name!r} to "
+                        f"{resolved[0].info.qualname}(), which draws from it — "
+                        "the worker owns that stream now; respawn a child "
+                        "stream instead",
                     )
 
 

@@ -31,6 +31,7 @@ repro.quality`` and the ``repro-gossip lint`` subcommand).
 from __future__ import annotations
 
 import ast
+import fnmatch
 import io
 import json
 import re
@@ -38,6 +39,7 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     ClassVar,
     Dict,
     Iterable,
@@ -50,6 +52,9 @@ from typing import (
     Type,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (summaries -> checkers -> here)
+    from repro.quality.summaries import ProjectContext
+
 __all__ = [
     "Finding",
     "FileContext",
@@ -59,6 +64,8 @@ __all__ = [
     "run_lint",
     "lint_text",
     "main",
+    "changed_python_files",
+    "SUMMARY_RULES",
     "github_annotation",
     "write_report",
     "PRAGMA_RULE",
@@ -99,12 +106,68 @@ class Finding:
 
 @dataclass
 class FileContext:
-    """Everything a file-scope checker needs about one source file."""
+    """Everything a file-scope checker needs about one source file.
+
+    ``project`` carries the interprocedural context (call graph +
+    function summaries over the whole linted file set) when the run was
+    made with summaries enabled; flow checkers fall back to their
+    intra-procedural conservatism when it is ``None``.
+    """
 
     path: Path
     display: str
     source: str
     tree: ast.Module
+    project: Optional["ProjectContext"] = None
+
+
+# --------------------------------------------------------------------------- #
+# shared AST helpers (defined here, the leaf module, so every checker layer
+# can use them without creating import cycles)
+# --------------------------------------------------------------------------- #
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical dotted module/object they bind.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``; ``from datetime import
+    datetime as dt`` -> ``{"dt": "datetime.datetime"}``.  Only top-of-tree
+    walk — nested/function-local imports are included too (the canonical
+    name is what matters, not where the binding happened).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never bind the banned stdlib names
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _canonical_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an expression to a canonical dotted name, or ``None``.
+
+    Walks ``Attribute`` chains down to a root ``Name`` and substitutes the
+    import alias.  Chains rooted in anything else (a call result, a
+    subscript) resolve to ``None`` — ``default_rng(0).random()`` is a draw
+    from an *explicitly seeded* generator and must not be flagged.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
 
 
 class Checker:
@@ -296,6 +359,26 @@ def _iter_python_files(paths: Sequence[object]) -> Iterator[Path]:
                 yield candidate
 
 
+def _excluded(display: str, patterns: Sequence[str]) -> bool:
+    """Whether ``display`` matches any ``--exclude`` glob.
+
+    Patterns are matched against the display path as given and with a
+    leading ``*/`` added, so ``tests/data/*`` excludes the fixture corpus
+    whether the run was invoked with relative or absolute paths.
+    """
+    for pattern in patterns:
+        if fnmatch.fnmatch(display, pattern) or fnmatch.fnmatch(
+            display, "*/" + pattern
+        ):
+            return True
+    return False
+
+
+#: rules whose precision depends on the interprocedural summary context;
+#: a run selecting none of these skips building it entirely.
+SUMMARY_RULES = frozenset({"resource-leak", "rng-discipline"})
+
+
 def _make_checkers(rules: Optional[Sequence[str]]) -> List[Checker]:
     if rules is None:
         selected = sorted(CHECKER_REGISTRY)
@@ -314,13 +397,26 @@ def run_lint(
     rules: Optional[Sequence[str]] = None,
     include_project: bool = True,
     project_root: Optional[Path] = None,
+    use_summaries: bool = True,
+    summary_cache: Optional[Path] = None,
+    context_paths: Optional[Sequence[object]] = None,
+    exclude: Sequence[str] = (),
 ) -> List[Finding]:
     """Lint ``paths`` (files or directories) and return unsuppressed findings.
 
     ``rules`` selects a subset of :data:`CHECKER_REGISTRY` (default: all).
     ``include_project=False`` skips project-scope checkers (the registry
-    cross-check), which is what fixture-corpus tests want.  Findings come
-    back sorted by ``(path, line, rule)``; an empty list is a clean run.
+    cross-check), which is what fixture-corpus tests want.
+
+    ``use_summaries`` enables the interprocedural context: the call graph
+    and function summaries over the linted files *plus* ``context_paths``
+    (files indexed for resolution but not themselves linted — how
+    ``--changed-only`` keeps cross-file precision on a partial run).
+    ``summary_cache`` points at the sha256-keyed on-disk cache.
+    ``exclude`` drops files whose display path matches any glob.
+
+    Findings come back sorted by ``(path, line, rule)``; an empty list is
+    a clean run.
     """
     # Importing registers the built-in checkers exactly once.
     from repro.quality import checkers as _checkers  # noqa: F401
@@ -332,7 +428,26 @@ def run_lint(
     findings: List[Finding] = []
     sheets: Dict[str, PragmaSheet] = {}
 
-    for path in _iter_python_files(paths):
+    lint_files = [
+        p for p in _iter_python_files(paths) if not _excluded(str(p), exclude)
+    ]
+
+    project: Optional["ProjectContext"] = None
+    if use_summaries and any(c.rule_id in SUMMARY_RULES for c in file_checkers):
+        from repro.quality.summaries import build_project
+
+        context_files = list(lint_files)
+        resolved = {p.resolve() for p in context_files}
+        for extra in _iter_python_files(context_paths or ()):
+            if _excluded(str(extra), exclude):
+                continue
+            extra_resolved = extra.resolve()
+            if extra_resolved not in resolved:
+                resolved.add(extra_resolved)
+                context_files.append(extra)
+        project = build_project(context_files, cache_path=summary_cache)
+
+    for path in lint_files:
         display = str(path)
         try:
             source = path.read_text(encoding="utf-8")
@@ -351,7 +466,9 @@ def run_lint(
                 Finding(display, exc.lineno or 1, PARSE_RULE, f"syntax error: {exc.msg}")
             )
             continue
-        ctx = FileContext(path=path, display=display, source=source, tree=tree)
+        ctx = FileContext(
+            path=path, display=display, source=source, tree=tree, project=project
+        )
         raw: List[Finding] = []
         for checker in file_checkers:
             if checker.applies_to(path):
@@ -427,6 +544,63 @@ def _default_paths() -> List[str]:
     return [str(Path(package_file).parent)]
 
 
+def changed_python_files(scope_paths: Sequence[object]) -> Optional[List[Path]]:
+    """Python files changed vs the merge base with ``origin/main``/``main``.
+
+    Includes working-tree modifications and untracked files; deletions are
+    skipped.  The result is restricted to files under ``scope_paths`` and
+    returned relative to the current directory when possible (so displays
+    line up with a plain-path invocation).  ``None`` means git could not
+    answer — the caller should fall back to a full lint.
+    """
+    import os
+    import subprocess
+
+    def git(*cmd: str) -> "subprocess.CompletedProcess[str]":
+        return subprocess.run(
+            ["git", *cmd], capture_output=True, text=True, check=False
+        )
+
+    top = git("rev-parse", "--show-toplevel")
+    if top.returncode != 0:
+        return None
+    root = Path(top.stdout.strip())
+
+    base: Optional[str] = None
+    for candidate in ("origin/main", "main"):
+        merge_base = git("merge-base", "HEAD", candidate)
+        if merge_base.returncode == 0:
+            base = merge_base.stdout.strip()
+            break
+
+    names: Set[str] = set()
+    if base is not None:
+        diff = git("diff", "--name-only", "--diff-filter=d", base, "--", "*.py")
+        if diff.returncode != 0:
+            return None
+        names.update(line for line in diff.stdout.splitlines() if line)
+    untracked = git("ls-files", "--others", "--exclude-standard", "--", "*.py")
+    if untracked.returncode == 0:
+        names.update(line for line in untracked.stdout.splitlines() if line)
+    if base is None and untracked.returncode != 0:
+        return None
+
+    scope = [Path(str(s)).resolve() for s in scope_paths]
+    changed: List[Path] = []
+    for name in sorted(names):
+        path = root / name
+        if not path.is_file():
+            continue
+        resolved = path.resolve()
+        if not any(resolved == s or s in resolved.parents for s in scope):
+            continue
+        try:
+            changed.append(Path(os.path.relpath(resolved)))
+        except ValueError:  # pragma: no cover - cross-drive on windows
+            changed.append(resolved)
+    return changed
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """``python -m repro.quality`` entry point.  Exit 0 clean, 1 findings."""
     import argparse
@@ -478,6 +652,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print registered rule ids with descriptions and exit",
     )
+    parser.add_argument(
+        "--no-summaries",
+        action="store_true",
+        help=(
+            "disable the interprocedural summary context (flow rules fall "
+            "back to per-function conservatism)"
+        ),
+    )
+    parser.add_argument(
+        "--summary-cache",
+        default=None,
+        metavar="PATH",
+        help=(
+            "on-disk summary cache (JSON, keyed by file sha256 + dependency "
+            "shas); speeds up repeated runs and --changed-only"
+        ),
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="skip files whose path matches GLOB (repeatable)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only files changed vs the merge base with origin/main "
+            "(plus untracked files); unchanged files are still indexed for "
+            "cross-file resolution"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -485,9 +692,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule_id:22s} {CHECKER_REGISTRY[rule_id].description}")
         return 0
 
-    paths = args.paths or _default_paths()
+    paths: Sequence[object] = args.paths or _default_paths()
+    context_paths: Optional[Sequence[object]] = None
+    if args.changed_only:
+        changed = changed_python_files(paths)
+        if changed is None:
+            print("repro-lint: --changed-only: git unavailable; linting everything")
+        else:
+            context_paths = paths
+            if not changed:
+                print("repro-lint: 0 findings (no changed files)")
+                return 0
+            paths = changed
     findings = run_lint(
-        paths, rules=args.rules, include_project=not args.no_registry
+        paths,
+        rules=args.rules,
+        include_project=not args.no_registry,
+        use_summaries=not args.no_summaries,
+        summary_cache=Path(args.summary_cache) if args.summary_cache else None,
+        context_paths=context_paths,
+        exclude=args.exclude,
     )
     if args.output:
         write_report(args.output, paths, args.rules, findings)
@@ -526,7 +750,7 @@ def github_annotation(finding: Finding) -> str:
 
 def write_report(
     output: str,
-    paths: Sequence[str],
+    paths: Sequence[object],
     rules: Optional[Sequence[str]],
     findings: Sequence[Finding],
 ) -> None:
@@ -539,7 +763,7 @@ def write_report(
 
     report = {
         "tool": "repro-lint",
-        "paths": list(paths),
+        "paths": [str(p) for p in paths],
         "rules": sorted(rules) if rules else sorted(CHECKER_REGISTRY),
         "count": len(findings),
         "findings": [f.as_dict() for f in findings],

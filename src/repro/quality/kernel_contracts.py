@@ -1,0 +1,652 @@
+"""Static contracts for the packed-``uint64`` bitset kernels.
+
+:mod:`repro.graphs.bitset` packs each boolean row into ``uint64`` words,
+and every kernel leans on four invariants that nothing checks at runtime:
+
+* **dtype preservation** — packed rows must stay ``uint64``.  NumPy
+  silently upcasts mixed-dtype arithmetic, so a stray ``+`` or ``*`` on a
+  packed operand yields a ``float64`` row whose bits are no longer the
+  membership set.  Set union is ``|``, never ``+``.
+* **no aliased ``out=``** — a ufunc call with ``out=`` (or a ``ufunc.at``
+  scatter, or an augmented assignment) must not *read* a different view
+  of the array it writes: NumPy makes no ordering guarantee on partially
+  overlapping operands.  Reading the identical view is fine —
+  ``np.bitwise_or(a[s], b, out=a[s])`` is element-wise in-place.
+* **canonical row width** — the word count for ``n`` bits is
+  ``(n + 63) >> 6``, spelled :func:`repro.graphs.bitset.words_for`.
+  ``n // 64`` drops the ragged tail word and ``n / 64`` is a float.
+* **masked complements** — ``~row`` sets every bit of the trailing word,
+  including the padding bits beyond ``n``.  A complement may only appear
+  under an AND mask (the ``x & ~y`` form), never stored or counted raw.
+
+The ``kernel-contract`` rule enforces all four — inside the kernel module
+itself (parameters declared packed by :data:`KERNEL_CONTRACTS`) and at
+every call site that imports it (values returned by packed-returning
+kernels are tracked through assignments, bitwise operators, subscripts
+and ``.copy()``/``.reshape()``).  Files that never touch the bitset
+module are skipped outright.  In the kernel module the contract table is
+additionally checked against ``__all__`` both ways, so a new public
+kernel cannot ship without declaring its contract and a renamed
+parameter cannot leave a stale one behind.
+
+Known imprecision (documented, accepted): taint is per-scope and
+name-based, so packed arrays smuggled through containers, attributes
+(other than ``DeltaRows.bits``) or helper returns without a contract are
+invisible, and a word *index* computed as ``i // 64`` instead of
+``i >> 6`` is flagged as a width violation — inside packed code that
+spelling is reserved for widths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.quality.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    _canonical_name,
+    _import_aliases,
+    register_checker,
+)
+
+__all__ = [
+    "KernelContract",
+    "KERNEL_CONTRACTS",
+    "DELTAROWS_PACKED_PARAMS",
+    "KernelContractChecker",
+]
+
+#: canonical module path of the kernel module.
+_BITSET = "repro.graphs.bitset"
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """Packed-row facts about one public name of the kernel module.
+
+    ``kind`` is ``"function"`` for kernels, ``"constant"`` for module
+    constants and ``"class"`` for the accumulator class (whose ``bits``
+    attribute is a packed matrix).  ``packed_params`` names the
+    parameters that carry packed rows; ``returns_packed`` marks kernels
+    whose return value is a packed array (the taint sources at call
+    sites).
+    """
+
+    kind: str = "function"
+    packed_params: Tuple[str, ...] = ()
+    returns_packed: bool = False
+
+
+#: contract table — one entry per name in the kernel module's ``__all__``.
+KERNEL_CONTRACTS: Dict[str, KernelContract] = {
+    "WORD_BITS": KernelContract(kind="constant"),
+    "words_for": KernelContract(),
+    "zeros": KernelContract(returns_packed=True),
+    "pack_bool_matrix": KernelContract(returns_packed=True),
+    "unpack_bool_matrix": KernelContract(packed_params=("bits",)),
+    "get_bit": KernelContract(packed_params=("bits",)),
+    "set_bit": KernelContract(packed_params=("bits",)),
+    "get_bits": KernelContract(packed_params=("bits",)),
+    "set_bits": KernelContract(packed_params=("bits",)),
+    "clear_bits": KernelContract(packed_params=("bits",)),
+    "popcount": KernelContract(packed_params=("bits",)),
+    "row_popcounts": KernelContract(packed_params=("bits",)),
+    "count_total": KernelContract(packed_params=("bits",)),
+    "or_rows": KernelContract(packed_params=("bits",), returns_packed=True),
+    "rows_or_into": KernelContract(packed_params=("dst_bits", "src_bits")),
+    "or_into_range": KernelContract(packed_params=("dst_bits", "src_block")),
+    "DeltaRows": KernelContract(kind="class"),
+    "delta_edges": KernelContract(packed_params=("old_bits", "new_bits")),
+    "indices_from_bits": KernelContract(packed_params=("row",)),
+    "transitive_closure_bits": KernelContract(packed_params=("bits",), returns_packed=True),
+    "closure_add_edges": KernelContract(packed_params=("reach",)),
+    "reachable_bits": KernelContract(packed_params=("bits",), returns_packed=True),
+    "bfs_distances_bits": KernelContract(packed_params=("bits",)),
+    "transpose_bits": KernelContract(packed_params=("bits",), returns_packed=True),
+}
+
+#: packed parameters of ``DeltaRows`` methods (``self.bits`` is packed too).
+DELTAROWS_PACKED_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "add_edges": (),
+    "or_into_range": ("src_block",),
+    "new_edges": ("base_bits",),
+}
+
+#: numpy ufuncs that keep packed operands packed.
+_NP_BITWISE = frozenset(
+    {
+        "numpy.bitwise_or",
+        "numpy.bitwise_and",
+        "numpy.bitwise_xor",
+        "numpy.bitwise_not",
+        "numpy.invert",
+        "numpy.left_shift",
+        "numpy.right_shift",
+    }
+)
+
+#: numpy array constructors — packed when built with ``dtype=np.uint64``.
+_NP_CTORS = frozenset(
+    {
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.full",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.ascontiguousarray",
+    }
+)
+
+#: constructors that also *propagate* taint when no dtype is given.
+_NP_PASSTHROUGH = frozenset({"numpy.array", "numpy.asarray", "numpy.ascontiguousarray"})
+
+#: methods that return a same-dtype view/copy of their receiver.
+_SHAPE_METHODS = frozenset({"copy", "reshape", "ravel", "squeeze"})
+
+#: arithmetic operators that upcast or scramble packed words.
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+_OP_GLYPH = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+}
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """Base variable of a subscript/attribute chain (``a[k][None]`` -> ``a``)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s own statements, not nested function/class bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class _PackedEnv:
+    """Per-scope taint: which local names hold packed rows / DeltaRows."""
+
+    packed: Set[str] = field(default_factory=set)
+    delta: Set[str] = field(default_factory=set)
+    self_is_delta: bool = False
+
+
+class _Scope:
+    """One analysis scope (the module body or a single function body)."""
+
+    def __init__(
+        self,
+        node: ast.AST,
+        aliases: Dict[str, str],
+        kernel_module: bool,
+        env: _PackedEnv,
+    ) -> None:
+        self.node = node
+        self.aliases = aliases
+        self.kernel_module = kernel_module
+        self.env = env
+
+    # -- resolution -------------------------------------------------------- #
+    def contract_for_call(self, call: ast.Call) -> Optional[KernelContract]:
+        """Contract of the kernel this call resolves to, if any."""
+        if self.kernel_module and isinstance(call.func, ast.Name):
+            contract = KERNEL_CONTRACTS.get(call.func.id)
+            if contract is not None:
+                return contract
+        name = _canonical_name(call.func, self.aliases)
+        if name is not None and name.startswith(_BITSET + "."):
+            return KERNEL_CONTRACTS.get(name[len(_BITSET) + 1 :])
+        return None
+
+    def _dtype_is_uint64(self, call: ast.Call) -> Optional[bool]:
+        """True/False for an explicit ``dtype=`` keyword, None when absent."""
+        for kw in call.keywords:
+            if kw.arg == "dtype":
+                return _canonical_name(kw.value, self.aliases) == "numpy.uint64"
+        return None
+
+    # -- taint ------------------------------------------------------------- #
+    def is_packed(self, node: ast.expr) -> bool:
+        """Whether ``node`` evaluates to a packed ``uint64`` row/matrix."""
+        if isinstance(node, ast.Name):
+            return node.id in self.env.packed
+        if isinstance(node, ast.Subscript):
+            return self.is_packed(node.value)
+        if isinstance(node, ast.Attribute):
+            # The one attribute with a contract: DeltaRows.bits.
+            return (
+                node.attr == "bits"
+                and isinstance(node.value, ast.Name)
+                and (
+                    node.value.id in self.env.delta
+                    or (self.env.self_is_delta and node.value.id == "self")
+                )
+            )
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.LShift, ast.RShift)):
+                return self.is_packed(node.left) or self.is_packed(node.right)
+            return False
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+            return self.is_packed(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.is_packed(node.body) or self.is_packed(node.orelse)
+        if isinstance(node, ast.Call):
+            return self._call_is_packed(node)
+        return False
+
+    def _call_is_packed(self, call: ast.Call) -> bool:
+        contract = self.contract_for_call(call)
+        if contract is not None:
+            return contract.returns_packed
+        name = _canonical_name(call.func, self.aliases)
+        if name is not None:
+            base = name.rsplit(".", 1)[0] if "." in name else name
+            if name in _NP_BITWISE or (base in _NP_BITWISE and name.endswith((".reduce", ".accumulate"))):
+                return any(self.is_packed(a) for a in call.args)
+            if name in _NP_CTORS:
+                explicit = self._dtype_is_uint64(call)
+                if explicit is not None:
+                    return explicit
+                return name in _NP_PASSTHROUGH and bool(call.args) and self.is_packed(call.args[0])
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _SHAPE_METHODS:
+            return self.is_packed(call.func.value)
+        return False
+
+    def is_delta(self, node: ast.expr) -> bool:
+        """Whether ``node`` evaluates to a ``DeltaRows`` accumulator."""
+        if isinstance(node, ast.Name):
+            return node.id in self.env.delta
+        if isinstance(node, ast.Call):
+            contract = self.contract_for_call(node)
+            return contract is not None and contract.kind == "class"
+        return False
+
+    def infer(self) -> None:
+        """Grow the taint sets to a fixed point over this scope's body.
+
+        Monotone (taint only grows), so statement order inside loops
+        cannot starve a binding; the round cap is a safety net — each
+        round either adds a name or stops, and scopes are finite.
+        """
+        for _ in range(32):
+            changed = False
+            for node in _own_nodes(self.node):
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.AugAssign):
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                packed = self.is_packed(value)
+                delta = self.is_delta(value)
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if packed and target.id not in self.env.packed:
+                        self.env.packed.add(target.id)
+                        changed = True
+                    if delta and target.id not in self.env.delta:
+                        self.env.delta.add(target.id)
+                        changed = True
+            if not changed:
+                return
+
+
+# --------------------------------------------------------------------------- #
+# the checker
+# --------------------------------------------------------------------------- #
+@register_checker
+class KernelContractChecker(Checker):
+    """Verify the packed-``uint64`` kernel contracts (see module docstring).
+
+    Active only on the kernel module itself and on files importing it;
+    everything else is out of scope by construction.
+    """
+
+    rule_id = "kernel-contract"
+    description = (
+        "packed-uint64 kernel contracts: no arithmetic upcasts, no aliased "
+        "out= targets, canonical (n + 63) >> 6 widths, masked complements"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        kernel_module = _is_kernel_module(ctx.tree)
+        imports_bitset = any(
+            name == _BITSET or name.startswith(_BITSET + ".") for name in aliases.values()
+        )
+        if not kernel_module and not imports_bitset:
+            return
+        if kernel_module:
+            yield from self._check_completeness(ctx)
+        for scope in self._scopes(ctx.tree, aliases, kernel_module):
+            scope.infer()
+            yield from self._check_scope(ctx, scope)
+
+    # -- scope construction ------------------------------------------------ #
+    def _scopes(
+        self, tree: ast.Module, aliases: Dict[str, str], kernel_module: bool
+    ) -> Iterator[_Scope]:
+        yield _Scope(tree, aliases, kernel_module, _PackedEnv())
+        delta_classes = _delta_class_names(tree, aliases, kernel_module)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            env = _PackedEnv()
+            owner = _owning_class(tree, node)
+            params = {a.arg for a in node.args.args + node.args.kwonlyargs}
+            if kernel_module:
+                contract = KERNEL_CONTRACTS.get(node.name)
+                if contract is not None:
+                    env.packed.update(p for p in contract.packed_params if p in params)
+            if owner is not None and owner in delta_classes:
+                env.self_is_delta = True
+                env.packed.update(
+                    p for p in DELTAROWS_PACKED_PARAMS.get(node.name, ()) if p in params
+                )
+            yield _Scope(node, aliases, kernel_module, env)
+
+    # -- completeness (kernel module only) --------------------------------- #
+    def _check_completeness(self, ctx: FileContext) -> Iterator[Finding]:
+        exported, line = _module_all(ctx.tree)
+        for name in exported:
+            if name not in KERNEL_CONTRACTS:
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"public kernel {name!r} has no entry in the kernel-contract "
+                    "table — declare its packed parameters in KERNEL_CONTRACTS "
+                    "before exporting it",
+                )
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            contract = KERNEL_CONTRACTS.get(node.name)
+            if contract is None:
+                continue
+            params = {a.arg for a in node.args.args + node.args.kwonlyargs}
+            for p in contract.packed_params:
+                if p not in params:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"stale kernel contract: {node.name}() has no parameter "
+                        f"{p!r} — update KERNEL_CONTRACTS to match the signature",
+                    )
+
+    # -- the four per-scope checks ----------------------------------------- #
+    def _check_scope(self, ctx: FileContext, scope: _Scope) -> Iterator[Finding]:
+        parents: Dict[int, ast.AST] = {}
+        for node in _own_nodes(scope.node):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        for node in _own_nodes(scope.node):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_arith(ctx, scope, node)
+                yield from self._check_width(ctx, scope, node)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_aug(ctx, scope, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_out_alias(ctx, scope, node)
+            elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+                yield from self._check_invert(ctx, scope, node, parents)
+
+    def _check_arith(
+        self, ctx: FileContext, scope: _Scope, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        if not isinstance(node.op, _ARITH_OPS):
+            return
+        if scope.is_packed(node.left) or scope.is_packed(node.right):
+            glyph = _OP_GLYPH[type(node.op)]
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"arithmetic {glyph!r} on a packed uint64 row upcasts or wraps "
+                "the words — set algebra is bitwise (|, &, ^); counts go "
+                "through popcount kernels",
+            )
+
+    def _check_aug(
+        self, ctx: FileContext, scope: _Scope, node: ast.AugAssign
+    ) -> Iterator[Finding]:
+        base = _root_name(node.target)
+        target_packed = base is not None and base in scope.env.packed
+        if not target_packed and not scope.is_packed(node.target):
+            return
+        if isinstance(node.op, _ARITH_OPS):
+            glyph = _OP_GLYPH[type(node.op)]
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"augmented {glyph}= on a packed uint64 row upcasts or wraps "
+                "the words — set algebra is bitwise (|=, &=, ^=)",
+            )
+            return
+        if base is None:
+            return
+        target_dump = ast.dump(node.target)
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.expr) and _root_name(sub) == base:
+                if ast.dump(sub) != target_dump:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"in-place update of {base!r} reads a different view of "
+                        f"{base!r} on the right-hand side — NumPy gives no "
+                        "ordering guarantee on overlapping operands; stage "
+                        "through a copy",
+                    )
+                break
+
+    def _check_out_alias(
+        self, ctx: FileContext, scope: _Scope, call: ast.Call
+    ) -> Iterator[Finding]:
+        out_expr: Optional[ast.expr] = None
+        reads: List[ast.expr] = []
+        name = _canonical_name(call.func, scope.aliases)
+        for kw in call.keywords:
+            if kw.arg == "out":
+                out_expr = kw.value
+        if out_expr is not None:
+            reads = list(call.args)
+        elif name is not None and name.endswith(".at") and len(call.args) >= 2:
+            base_ufunc = name.rsplit(".", 1)[0]
+            if base_ufunc in _NP_BITWISE:
+                out_expr, reads = call.args[0], list(call.args[1:])
+        if out_expr is None:
+            return
+        out_base = _root_name(out_expr)
+        if out_base is None or out_base not in scope.env.packed:
+            return
+        out_dump = ast.dump(out_expr)
+        for arg in reads:
+            if ast.dump(arg) == out_dump:
+                continue  # the identical view: element-wise in-place, safe
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.expr)
+                    and _root_name(sub) == out_base
+                    and ast.dump(sub) != out_dump
+                ):
+                    yield self.finding(
+                        ctx,
+                        call.lineno,
+                        f"out= target {out_base!r} partially aliases a read "
+                        "operand in the same call — NumPy gives no ordering "
+                        "guarantee on overlapping views; read from a copy or "
+                        "pass the identical view",
+                    )
+                    return
+
+    def _check_width(
+        self, ctx: FileContext, scope: _Scope, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        if not isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return
+        if not _is_word_bits(node.right, scope.aliases):
+            return
+        if isinstance(node.op, ast.Div):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                "true division by the word size yields a float width — use "
+                "words_for(n), the (n + 63) >> 6 form",
+            )
+            return
+        if not _is_ceil_numerator(node.left, scope.aliases):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                "floor division by the word size truncates the ragged tail "
+                "word — row widths are words_for(n), the (n + 63) >> 6 form",
+            )
+
+    def _check_invert(
+        self,
+        ctx: FileContext,
+        scope: _Scope,
+        node: ast.UnaryOp,
+        parents: Dict[int, ast.AST],
+    ) -> Iterator[Finding]:
+        if not scope.is_packed(node.operand):
+            return
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.BinOp) and isinstance(parent.op, ast.BitAnd):
+            return
+        if isinstance(parent, ast.AugAssign) and isinstance(parent.op, ast.BitAnd):
+            return
+        if isinstance(parent, ast.Call) and node in parent.args:
+            name = _canonical_name(parent.func, scope.aliases)
+            if name in ("numpy.bitwise_and", "numpy.bitwise_and.at"):
+                return
+        yield self.finding(
+            ctx,
+            node.lineno,
+            "complement of a packed row sets the padding bits beyond n — a "
+            "bare ~row may only appear under an AND mask (the x & ~y form)",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# module-shape helpers
+# --------------------------------------------------------------------------- #
+def _module_all(tree: ast.Module) -> Tuple[List[str], int]:
+    """Names listed in a module-level ``__all__``, with its line number."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            names = [
+                e.value
+                for e in node.value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+            return names, node.lineno
+    return [], 1
+
+
+def _is_kernel_module(tree: ast.Module) -> bool:
+    """Does this file *define* the packed kernels (rather than import them)?
+
+    Recognised by shape, not path, so the fixture corpus can exercise the
+    definition-side checks: a module-level ``WORD_BITS`` constant plus a
+    top-level ``words_for`` function.
+    """
+    has_word_bits = any(
+        isinstance(node, ast.Assign)
+        and any(isinstance(t, ast.Name) and t.id == "WORD_BITS" for t in node.targets)
+        for node in tree.body
+    )
+    has_words_for = any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == "words_for"
+        for node in tree.body
+    )
+    return has_word_bits and has_words_for
+
+
+def _delta_class_names(
+    tree: ast.Module, aliases: Dict[str, str], kernel_module: bool
+) -> Set[str]:
+    """Local class names whose instances carry a packed ``bits`` attribute."""
+    names: Set[str] = set()
+    if kernel_module:
+        names.update(
+            node.name
+            for node in tree.body
+            if isinstance(node, ast.ClassDef) and KERNEL_CONTRACTS.get(node.name) is not None
+        )
+    for local, canonical in aliases.items():
+        if canonical == f"{_BITSET}.DeltaRows":
+            names.add(local)
+    return names
+
+
+def _owning_class(tree: ast.Module, fn: ast.AST) -> Optional[str]:
+    """Name of the class whose body directly contains ``fn``, if any."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and fn in node.body:
+            return node.name
+    return None
+
+
+def _is_word_bits(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    """Is this expression the word size — literal 64 or WORD_BITS?"""
+    if isinstance(node, ast.Constant) and node.value == 64:
+        return True
+    name = _canonical_name(node, aliases)
+    return name is not None and (name == "WORD_BITS" or name.endswith(".WORD_BITS"))
+
+
+def _is_ceil_numerator(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    """Accept the canonical ceiling numerators: ``n + 63`` and friends.
+
+    Recognised shapes: ``n + 63``, ``63 + n``, ``n + (WORD_BITS - 1)`` and
+    ``n + WORD_BITS - 1`` (which parses as ``(n + WORD_BITS) - 1``).
+    """
+
+    def is_63(e: ast.expr) -> bool:
+        if isinstance(e, ast.Constant) and e.value == 63:
+            return True
+        return (
+            isinstance(e, ast.BinOp)
+            and isinstance(e.op, ast.Sub)
+            and _is_word_bits(e.left, aliases)
+            and isinstance(e.right, ast.Constant)
+            and e.right.value == 1
+        )
+
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return is_63(node.left) or is_63(node.right)
+    if (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Sub)
+        and isinstance(node.right, ast.Constant)
+        and node.right.value == 1
+        and isinstance(node.left, ast.BinOp)
+        and isinstance(node.left.op, ast.Add)
+        and (_is_word_bits(node.left.left, aliases) or _is_word_bits(node.left.right, aliases))
+    ):
+        return True
+    return False

@@ -1,0 +1,954 @@
+"""Bottom-up interprocedural function summaries for repro-lint.
+
+The flow rules used to treat every call conservatively: a handle passed
+to *any* call was assumed transferred, a helper that acquires and
+returns a resource was invisible, a callee that draws from a generator
+parameter never counted as a draw.  This module computes, for every
+function in the :class:`~repro.quality.callgraph.CallGraph`, a
+:class:`FunctionSummary` describing its boundary behaviour:
+
+* ``releases`` — parameter positions whose argument is discharged
+  (``close``/``unlink``/``shutdown``) on **every** normal path out of the
+  callee (a must-analysis, intersection join over the callee's CFG);
+* ``escapes`` — parameter positions whose argument's ownership the
+  callee takes: returned, yielded, stored (on ``self``, in a container,
+  as a local alias), or passed onward to a call we cannot see through;
+* ``draws`` — parameter positions the callee draws from as an RNG
+  stream (directly or through its own callees);
+* ``returns_params`` / ``returns_resource`` / ``returns_spawn_rng`` —
+  what comes back: a passed-in object, a freshly acquired resource with
+  its required release actions, or a ``SeedSequence.spawn``-derived
+  generator.
+
+Summaries are computed bottom-up over the call graph's strongly
+connected components; inside an SCC (recursion, mutual calls) they are
+iterated from the optimistic bottom to a fixed point — every fact set
+grows monotonically, so convergence is guaranteed and fast.  A function
+whose body cannot be trusted (an opaque decorator wraps it, or it is a
+generator whose body does not run at call time) gets the *conservative*
+summary: every parameter escapes, nothing is released — which reproduces
+exactly the pre-interprocedural behaviour at its call sites.
+
+The resource/RNG model (what acquires, what releases, what draws) lives
+here as the single source of truth; :mod:`repro.quality.flow_checkers`
+imports it rather than redefining it.
+
+An on-disk cache (:class:`SummaryCache`) keyed by file sha256 — plus the
+sha256s of every file the summaries transitively depend on — lets CI
+re-lint a one-file diff without recomputing the world.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.quality.callgraph import (
+    CallGraph,
+    CallResolution,
+    FunctionInfo,
+    ModuleInfo,
+    _walk_own,
+    build_call_graph,
+)
+from repro.quality.cfg import CFG, CFGNode, build_cfg
+from repro.quality.framework import _canonical_name
+from repro.quality.dataflow import Analysis, ReachingDefinitions, solve_forward
+
+__all__ = [
+    "FunctionSummary",
+    "CallArgEffects",
+    "ProjectContext",
+    "ModuleResolver",
+    "SummaryCache",
+    "build_project",
+    "compute_summaries",
+    "resource_of_call",
+    "stored_names",
+    "RELEASE_METHODS",
+    "OS_RELEASES",
+    "ACTION_HINT",
+    "WRITE_MODE_CHARS",
+    "DRAW_METHODS",
+    "GENERATOR_CTORS",
+]
+
+
+# --------------------------------------------------------------------------- #
+# the resource / RNG model (single source of truth for the flow rules)
+# --------------------------------------------------------------------------- #
+WRITE_MODE_CHARS = frozenset("wax+")
+
+#: method names that discharge the matching action on the receiver
+RELEASE_METHODS: Dict[str, str] = {
+    "close": "close",
+    "unlink": "unlink",
+    "shutdown": "shutdown",
+}
+
+#: ``os.*`` functions that discharge an action on their first argument
+OS_RELEASES: Dict[str, str] = {
+    "os.close": "close",
+    "os.unlink": "unlink",
+    "os.remove": "unlink",
+    "os.replace": "unlink",
+    "os.rename": "unlink",
+}
+
+ACTION_HINT: Dict[str, str] = {
+    "close": ".close()",
+    "unlink": ".unlink() (or os.unlink/os.replace for paths)",
+    "shutdown": ".shutdown()",
+}
+
+#: Generator methods that consume draws (advancing the stream)
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "standard_exponential",
+        "standard_gamma",
+        "exponential",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "bytes",
+    }
+)
+
+GENERATOR_CTORS = frozenset({"numpy.random.default_rng", "numpy.random.Generator"})
+
+
+def _kwarg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The constant mode string of an ``open``-family call, if present."""
+    candidates: List[ast.expr] = list(call.args[1:2])
+    mode_kw = _kwarg(call, "mode")
+    if mode_kw is not None:
+        candidates.append(mode_kw)
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+            return candidate.value
+    return None
+
+
+def resource_of_call(
+    call: ast.Call, aliases: Dict[str, str]
+) -> Optional[Tuple[str, FrozenSet[str]]]:
+    """``(description, required actions)`` if ``call`` acquires a resource."""
+    name = _canonical_name(call.func, aliases)
+    if name is None:
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "open":
+            mode = _open_mode(call)
+            if mode is not None and set(mode) & WRITE_MODE_CHARS:
+                return (f"writable .open(..., {mode!r}) handle", frozenset({"close"}))
+        return None
+    if name == "multiprocessing.shared_memory.SharedMemory":
+        create = _kwarg(call, "create")
+        if isinstance(create, ast.Constant) and create.value is True:
+            return (
+                "shared_memory.SharedMemory(create=True)",
+                frozenset({"close", "unlink"}),
+            )
+        return ("shared_memory.SharedMemory attachment", frozenset({"close"}))
+    if name in ("open", "os.fdopen") or name.endswith(".open"):
+        mode = _open_mode(call)
+        if mode is not None and set(mode) & WRITE_MODE_CHARS:
+            return (f"writable {name}(..., {mode!r}) handle", frozenset({"close"}))
+        return None
+    if name in (
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+    ):
+        return (name.rsplit(".", 1)[1], frozenset({"shutdown"}))
+    return None
+
+
+def stored_names(expr: Optional[ast.AST]) -> Set[str]:
+    """Names whose *object itself* is stored/aliased by ``expr``.
+
+    ``shm`` in ``refs.append(shm)`` or ``pair = (fd, tmp)`` aliases the
+    resource; ``f`` in ``f.read()`` or ``f.name`` does not (only a
+    method/attribute of it is used).  Containers recurse, attribute and
+    subscript accesses stop.
+    """
+    names: Set[str] = set()
+    if expr is None:
+        return names
+    if isinstance(expr, ast.Name):
+        names.add(expr.id)
+    elif isinstance(expr, ast.Starred):
+        names |= stored_names(expr.value)
+    elif isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        for element in expr.elts:
+            names |= stored_names(element)
+    elif isinstance(expr, ast.Dict):
+        for key in expr.keys:
+            names |= stored_names(key)
+        for value in expr.values:
+            names |= stored_names(value)
+    elif isinstance(expr, ast.IfExp):
+        names |= stored_names(expr.body) | stored_names(expr.orelse)
+    elif isinstance(expr, (ast.Await, ast.Yield, ast.YieldFrom)):
+        names |= stored_names(getattr(expr, "value", None))
+    return names
+
+
+# --------------------------------------------------------------------------- #
+# summaries
+# --------------------------------------------------------------------------- #
+@dataclass
+class FunctionSummary:
+    """Boundary behaviour of one function, in full-parameter-tuple indices."""
+
+    releases: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    escapes: FrozenSet[int] = frozenset()
+    draws: FrozenSet[int] = frozenset()
+    returns_params: FrozenSet[int] = frozenset()
+    returns_resource: Optional[Tuple[str, FrozenSet[str]]] = None
+    returns_spawn_rng: bool = False
+    trusted: bool = True
+
+    @staticmethod
+    def conservative(n_params: int) -> "FunctionSummary":
+        """The don't-trust-the-body summary: every parameter escapes."""
+        return FunctionSummary(escapes=frozenset(range(n_params)), trusted=False)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "releases": {str(i): sorted(a) for i, a in sorted(self.releases.items())},
+            "escapes": sorted(self.escapes),
+            "draws": sorted(self.draws),
+            "returns_params": sorted(self.returns_params),
+            "returns_resource": (
+                [self.returns_resource[0], sorted(self.returns_resource[1])]
+                if self.returns_resource is not None
+                else None
+            ),
+            "returns_spawn_rng": self.returns_spawn_rng,
+            "trusted": self.trusted,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FunctionSummary":
+        releases_raw = data.get("releases", {})
+        releases: Dict[int, FrozenSet[str]] = {}
+        if isinstance(releases_raw, dict):
+            for k, v in releases_raw.items():
+                releases[int(k)] = frozenset(str(a) for a in v)  # type: ignore[union-attr]
+        rr = data.get("returns_resource")
+        returns_resource: Optional[Tuple[str, FrozenSet[str]]] = None
+        if isinstance(rr, list) and len(rr) == 2:
+            returns_resource = (str(rr[0]), frozenset(str(a) for a in rr[1]))
+        return FunctionSummary(
+            releases=releases,
+            escapes=frozenset(int(i) for i in data.get("escapes", [])),  # type: ignore[union-attr]
+            draws=frozenset(int(i) for i in data.get("draws", [])),  # type: ignore[union-attr]
+            returns_params=frozenset(
+                int(i) for i in data.get("returns_params", [])  # type: ignore[union-attr]
+            ),
+            returns_resource=returns_resource,
+            returns_spawn_rng=bool(data.get("returns_spawn_rng", False)),
+            trusted=bool(data.get("trusted", False)),
+        )
+
+
+@dataclass
+class CallArgEffects:
+    """What one resolved call does to the plain-``Name`` arguments it gets.
+
+    ``kept`` is the precision win: names the callee provably neither
+    releases nor takes ownership of — the caller's obligation survives
+    the call instead of being conservatively discharged.
+    """
+
+    releases: List[Tuple[str, str]] = field(default_factory=list)
+    escapes: Set[str] = field(default_factory=set)
+    kept: Set[str] = field(default_factory=set)
+    draws: Set[str] = field(default_factory=set)
+
+
+def _call_name_args(
+    call: ast.Call, resolution: CallResolution
+) -> Iterator[Tuple[str, Optional[int], ast.expr]]:
+    """``(name, param index or None, expr)`` for each argument of ``call``.
+
+    Plain-``Name`` arguments map to a callee parameter index; anything
+    else (containers, starred args, attribute loads) yields the names it
+    stores with ``None`` — unmappable, so conservatively escaped.
+    """
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            for name in stored_names(arg):
+                yield name, None, arg
+        elif isinstance(arg, ast.Name):
+            yield arg.id, resolution.param_for_positional(position), arg
+        else:
+            for name in stored_names(arg):
+                yield name, None, arg
+    for kw in call.keywords:
+        if kw.arg is None:  # **kwargs expansion
+            for name in stored_names(kw.value):
+                yield name, None, kw.value
+        elif isinstance(kw.value, ast.Name):
+            yield kw.value.id, resolution.param_for_keyword(kw.arg), kw.value
+        else:
+            for name in stored_names(kw.value):
+                yield name, None, kw.value
+
+
+def call_argument_effects(
+    call: ast.Call, resolution: CallResolution, summary: FunctionSummary
+) -> CallArgEffects:
+    """Judge each argument of a resolved call against the callee summary."""
+    effects = CallArgEffects()
+    if not summary.trusted:
+        for name, _index, _expr in _call_name_args(call, resolution):
+            effects.escapes.add(name)
+        return effects
+    for name, index, _expr in _call_name_args(call, resolution):
+        if index is None:
+            effects.escapes.add(name)
+            continue
+        if index in summary.draws:
+            effects.draws.add(name)
+        released = summary.releases.get(index, frozenset())
+        for action in sorted(released):
+            effects.releases.append((name, action))
+        if index in summary.escapes or index in summary.returns_params:
+            effects.escapes.add(name)
+        elif not released:
+            effects.kept.add(name)
+        else:
+            effects.kept.add(name)
+    return effects
+
+
+# --------------------------------------------------------------------------- #
+# the per-function summariser
+# --------------------------------------------------------------------------- #
+#: a discharge fact: (local name, action)
+_Discharge = Tuple[str, str]
+#: must-analysis state: None = unreachable (top), else discharges so far
+_MustState = Optional[FrozenSet[_Discharge]]
+
+
+class _MustDischargeAnalysis(Analysis[_MustState]):
+    """Forward must-analysis: discharges guaranteed on every path to here.
+
+    ``None`` is the unreachable state (identity of the intersection
+    join).  Discharges apply on both normal and exceptional out-edges of
+    the discharging statement — a ``close()`` that raises was still the
+    release attempt, matching the intra-procedural rule's convention.
+    """
+
+    def __init__(self, discharges: Dict[int, FrozenSet[_Discharge]]) -> None:
+        self._discharges = discharges
+
+    def bottom(self) -> _MustState:
+        return None
+
+    def initial(self, cfg: CFG) -> _MustState:
+        return frozenset()
+
+    def join(self, a: _MustState, b: _MustState) -> _MustState:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def flow(self, node: CFGNode, state: _MustState, edge_kind: str) -> _MustState:
+        if state is None:
+            return None
+        facts = self._discharges.get(node.index)
+        if facts:
+            return state | facts
+        return state
+
+
+class _Summarizer:
+    """Computes one function's summary given the current environment."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        env: Dict[str, FunctionSummary],
+        info: FunctionInfo,
+    ) -> None:
+        self.graph = graph
+        self.env = env
+        self.info = info
+        self.module: Optional[ModuleInfo] = graph.modules.get(info.module)
+
+    def _resolve(self, call: ast.Call) -> Optional[Tuple[CallResolution, FunctionSummary]]:
+        if self.module is None:
+            return None
+        resolution = self.graph.resolve(call, self.module, self.info.qualname)
+        if resolution is None:
+            return None
+        summary = self.env.get(resolution.info.key)
+        if summary is None:
+            # An SCC member not yet iterated.  May-facts (escapes, draws)
+            # start at the empty bottom and grow; must-facts (releases)
+            # start at the optimistic top — release everything — and
+            # shrink, so recursion like ``release(shm) -> release(shm)``
+            # converges to the greatest fixed point instead of never
+            # crediting the recursive discharge.
+            summary = FunctionSummary(
+                releases={
+                    i: frozenset(RELEASE_METHODS.values())
+                    for i in range(len(resolution.info.params))
+                }
+            )
+        return resolution, summary
+
+    def summarize(self) -> FunctionSummary:
+        info = self.info
+        if not info.transparent or info.is_generator or self.module is None:
+            return FunctionSummary.conservative(len(info.params))
+        params = info.params
+        param_index = {name: i for i, name in enumerate(params)}
+        aliases = self.module.aliases
+
+        escapes: Set[int] = set()
+        draws: Set[int] = set()
+        returns_params: Set[int] = set()
+        returns_resource: Optional[Tuple[str, FrozenSet[str]]] = None
+
+        cfg = build_cfg(info.node, info.qualname)  # type: ignore[arg-type]
+        reaching = ReachingDefinitions(cfg, info.node)
+        discharges: Dict[int, FrozenSet[_Discharge]] = {}
+        return_nodes: List[CFGNode] = []
+
+        for node in cfg.stmt_nodes():
+            facts: Set[_Discharge] = set()
+            for part in node.evaluated():
+                for sub in ast.walk(part):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    facts |= self._call_facts(sub, aliases, param_index, escapes, draws)
+            stmt = node.stmt
+            if node.kind == "stmt" and isinstance(stmt, ast.Return):
+                return_nodes.append(node)
+            self._escape_facts(node, param_index, escapes)
+            if facts:
+                discharges[node.index] = frozenset(facts)
+
+        releases: Dict[int, FrozenSet[str]] = {}
+        if discharges:
+            exit_state = solve_forward(cfg, _MustDischargeAnalysis(discharges))[cfg.exit]
+            if exit_state:
+                for name, action in exit_state:
+                    index = param_index.get(name)
+                    if index is not None:
+                        releases[index] = releases.get(index, frozenset()) | {action}
+
+        spawn_votes: List[bool] = []
+        for node in return_nodes:
+            stmt = node.stmt
+            assert isinstance(stmt, ast.Return)
+            value = stmt.value
+            if value is None:
+                continue
+            if isinstance(value, ast.Name) and value.id in param_index:
+                returns_params.add(param_index[value.id])
+            fresh = self._fresh_resource(value, node, reaching, aliases)
+            if fresh is not None:
+                returns_resource = fresh
+            vote = self._spawn_rng_vote(value, node, reaching, aliases)
+            if vote is not None:
+                spawn_votes.append(vote)
+
+        return FunctionSummary(
+            releases=releases,
+            escapes=frozenset(escapes),
+            draws=frozenset(draws),
+            returns_params=frozenset(returns_params),
+            returns_resource=returns_resource,
+            returns_spawn_rng=bool(spawn_votes) and all(spawn_votes),
+            trusted=True,
+        )
+
+    # -- per-call facts -------------------------------------------------- #
+    def _call_facts(
+        self,
+        call: ast.Call,
+        aliases: Dict[str, str],
+        param_index: Dict[str, int],
+        escapes: Set[int],
+        draws: Set[int],
+    ) -> Set[_Discharge]:
+        facts: Set[_Discharge] = set()
+        func = call.func
+        canonical = _canonical_name(func, aliases)
+        if canonical in OS_RELEASES:
+            if call.args and isinstance(call.args[0], ast.Name):
+                facts.add((call.args[0].id, OS_RELEASES[canonical]))
+            return facts
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            receiver = func.value.id
+            if func.attr in RELEASE_METHODS:
+                facts.add((receiver, RELEASE_METHODS[func.attr]))
+                return facts
+            if func.attr in DRAW_METHODS and receiver in param_index:
+                draws.add(param_index[receiver])
+        resolved = self._resolve(call)
+        if resolved is not None:
+            resolution, summary = resolved
+            effects = call_argument_effects(call, resolution, summary)
+            facts.update(effects.releases)
+            for name in effects.escapes:
+                if name in param_index:
+                    escapes.add(param_index[name])
+            for name in effects.draws:
+                if name in param_index:
+                    draws.add(param_index[name])
+        else:
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                for name in stored_names(arg):
+                    if name in param_index:
+                        escapes.add(param_index[name])
+        return facts
+
+    # -- escape facts beyond calls --------------------------------------- #
+    def _escape_facts(
+        self, node: CFGNode, param_index: Dict[str, int], escapes: Set[int]
+    ) -> None:
+        stmt = node.stmt
+        if node.kind != "stmt" or stmt is None:
+            if node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    for name in stored_names(item.context_expr):
+                        if name in param_index:
+                            escapes.add(param_index[name])
+            return
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Return):
+            for name in stored_names(stmt.value):
+                if name in param_index:
+                    escapes.add(param_index[name])
+            return
+        if isinstance(stmt, ast.Raise):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    if sub.id in param_index:
+                        escapes.add(param_index[sub.id])
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+        elif isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if not isinstance(value, (ast.Yield, ast.YieldFrom, ast.Await)):
+                value = None  # a bare call's args are judged via _call_facts
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                for name in stored_names(target):
+                    if name in param_index:
+                        escapes.add(param_index[name])
+            return
+        if value is not None:
+            for name in stored_names(value):
+                if name in param_index:
+                    escapes.add(param_index[name])
+
+    # -- return-value classification ------------------------------------- #
+    def _fresh_resource(
+        self,
+        expr: ast.expr,
+        node: CFGNode,
+        reaching: ReachingDefinitions,
+        aliases: Dict[str, str],
+    ) -> Optional[Tuple[str, FrozenSet[str]]]:
+        """Whether ``expr`` hands the caller a freshly acquired resource."""
+        if isinstance(expr, ast.Call):
+            direct = resource_of_call(expr, aliases)
+            if direct is not None:
+                return direct
+            resolved = self._resolve(expr)
+            if resolved is not None and resolved[1].trusted:
+                return resolved[1].returns_resource
+            return None
+        if isinstance(expr, ast.Name):
+            defs = reaching.def_nodes(expr.id, node.index)
+            if not defs or len(reaching.defs_of(expr.id, node.index)) != len(defs):
+                return None  # parameter-bound or unknown — not fresh
+            found: Optional[Tuple[str, FrozenSet[str]]] = None
+            for def_node in defs:
+                stmt = def_node.stmt
+                if not isinstance(stmt, ast.Assign) or not isinstance(
+                    stmt.value, ast.Call
+                ):
+                    return None
+                fresh = self._fresh_resource(stmt.value, def_node, reaching, aliases)
+                if fresh is None:
+                    return None
+                found = fresh
+            return found
+        return None
+
+    def _spawn_rng_vote(
+        self,
+        expr: ast.expr,
+        node: CFGNode,
+        reaching: ReachingDefinitions,
+        aliases: Dict[str, str],
+    ) -> Optional[bool]:
+        """``True``/``False`` if ``expr`` returns a generator (spawn-derived
+        or not), ``None`` if it is not a generator-valued expression."""
+        if isinstance(expr, ast.Call):
+            if _canonical_name(expr.func, aliases) in GENERATOR_CTORS:
+                seed = expr.args[0] if expr.args else _kwarg(expr, "seed")
+                return spawn_derived(seed, node.index, reaching, aliases, self, set())
+            resolved = self._resolve(expr)
+            if resolved is not None and resolved[1].trusted:
+                if resolved[1].returns_spawn_rng:
+                    return True
+            return None
+        if isinstance(expr, ast.Name):
+            defs = reaching.def_nodes(expr.id, node.index)
+            if not defs:
+                return None
+            votes: List[bool] = []
+            for def_node in defs:
+                stmt = def_node.stmt
+                if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                    vote = self._spawn_rng_vote(stmt.value, def_node, reaching, aliases)
+                    if vote is not None:
+                        votes.append(vote)
+            if votes:
+                return all(votes)
+            return None
+        return None
+
+
+def spawn_derived(
+    expr: Optional[ast.expr],
+    at_node: int,
+    reaching: ReachingDefinitions,
+    aliases: Dict[str, str],
+    summarizer: Optional[_Summarizer],
+    seen: Set[Tuple[str, int]],
+) -> bool:
+    """Whether ``expr`` provably derives from spawn/spawn_key material.
+
+    The interprocedural extension of the PR 8 check: a call to a project
+    function whose summary says ``returns_spawn_rng`` also counts (the
+    helper-factory pattern).
+    """
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr == "spawn":
+            return True
+        canonical = _canonical_name(func, aliases)
+        if canonical == "numpy.random.SeedSequence":
+            return _kwarg(expr, "spawn_key") is not None
+        if summarizer is not None:
+            resolved = summarizer._resolve(expr)
+            if resolved is not None and resolved[1].trusted:
+                return resolved[1].returns_spawn_rng
+        return False
+    if isinstance(expr, ast.Subscript):
+        return spawn_derived(expr.value, at_node, reaching, aliases, summarizer, seen)
+    if isinstance(expr, ast.Name):
+        key = (expr.id, at_node)
+        if key in seen:
+            return False
+        seen.add(key)
+        defs = reaching.def_nodes(expr.id, at_node)
+        if not defs or len(reaching.defs_of(expr.id, at_node)) != len(defs):
+            return False  # entry-bound or unknown provenance
+        for def_node in defs:
+            stmt = def_node.stmt
+            if not isinstance(stmt, ast.Assign):
+                return False
+            if not spawn_derived(
+                stmt.value, def_node.index, reaching, aliases, summarizer, seen
+            ):
+                return False
+        return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# fixed point over SCCs
+# --------------------------------------------------------------------------- #
+#: safety valve for SCC iteration; real components converge in 2-3 rounds
+_MAX_SCC_ROUNDS = 20
+
+
+def compute_summaries(
+    graph: CallGraph, pinned: Optional[Dict[str, FunctionSummary]] = None
+) -> Dict[str, FunctionSummary]:
+    """Summaries for every indexed function, bottom-up with SCC fixed points.
+
+    ``pinned`` entries (cache hits) are taken as-is and never recomputed.
+    """
+    env: Dict[str, FunctionSummary] = dict(pinned or {})
+    for component in graph.sccs_bottom_up():
+        todo = [key for key in component if key not in env]
+        if not todo:
+            continue
+        for _round in range(_MAX_SCC_ROUNDS):
+            changed = False
+            for key in todo:
+                info = graph.functions[key]
+                new = _Summarizer(graph, env, info).summarize()
+                if env.get(key) != new:
+                    env[key] = new
+                    changed = True
+            if not changed:
+                break
+    return env
+
+
+# --------------------------------------------------------------------------- #
+# project context (what the checkers see)
+# --------------------------------------------------------------------------- #
+class ModuleResolver:
+    """Per-file view of the project: resolve calls, look up summaries."""
+
+    def __init__(self, context: "ProjectContext", module: ModuleInfo) -> None:
+        self._context = context
+        self.module = module
+
+    def resolve_call(
+        self, call: ast.Call, scope_qualname: str
+    ) -> Optional[Tuple[CallResolution, FunctionSummary]]:
+        """The callee and its summary, or ``None`` for unresolvable calls."""
+        resolution = self._context.graph.resolve(call, self.module, scope_qualname)
+        if resolution is None:
+            return None
+        summary = self._context.summaries.get(resolution.info.key)
+        if summary is None:
+            return None
+        return resolution, summary
+
+    def function_at(self, scope_qualname: str) -> Optional[FunctionInfo]:
+        key = self.module.functions.get(scope_qualname)
+        if key is None:
+            return None
+        return self._context.graph.functions.get(key)
+
+
+class ProjectContext:
+    """The interprocedural context attached to every linted file."""
+
+    def __init__(
+        self, graph: CallGraph, summaries: Dict[str, FunctionSummary]
+    ) -> None:
+        self.graph = graph
+        self.summaries = summaries
+
+    def resolver_for(self, display: str) -> Optional[ModuleResolver]:
+        module = self.graph.modules_by_path.get(display)
+        if module is None:
+            return None
+        return ModuleResolver(self, module)
+
+
+# --------------------------------------------------------------------------- #
+# the on-disk cache
+# --------------------------------------------------------------------------- #
+_CACHE_VERSION = 1
+
+
+class SummaryCache:
+    """Per-file summary cache keyed by content sha256 plus dependency shas.
+
+    An entry for file F records F's sha256, the sha256 of every file F's
+    summaries transitively depend on (callees, callees-of-callees, …) and
+    the serialized summaries of F's functions.  The entry is valid only
+    when every recorded sha still matches — editing any file in the
+    dependency cone invalidates exactly the cones that could change.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._files: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != _CACHE_VERSION:
+            return
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def valid_entry(
+        self, display: str, shas: Dict[str, str]
+    ) -> Optional[Dict[str, object]]:
+        """The cached entry for ``display`` if its whole sha cone matches."""
+        entry = self._files.get(display)
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("sha256") != shas.get(display):
+            return None
+        deps = entry.get("deps")
+        if not isinstance(deps, dict):
+            return None
+        for dep_path, dep_sha in deps.items():
+            if shas.get(dep_path) != dep_sha:
+                return None
+        return entry
+
+    def store(
+        self,
+        display: str,
+        sha: str,
+        deps: Dict[str, str],
+        summaries: Dict[str, FunctionSummary],
+    ) -> None:
+        self._files[display] = {
+            "sha256": sha,
+            "deps": deps,
+            "summaries": {qual: s.as_dict() for qual, s in summaries.items()},
+        }
+
+    def save(self) -> None:
+        # Imported lazily (as in framework.write_report) so the lint
+        # framework does not pull the simulation package in at import time.
+        from repro.simulation.io import atomic_write_text
+
+        payload = json.dumps(
+            {"version": _CACHE_VERSION, "files": self._files}, sort_keys=True
+        )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self.path, payload + "\n")
+        except OSError:
+            pass  # a cache that cannot be written is only a missed speedup
+
+
+def _transitive_file_deps(graph: CallGraph) -> Dict[str, Set[str]]:
+    """For each file, the files its functions' summaries depend on."""
+    direct: Dict[str, Set[str]] = {path: set() for path in graph.modules_by_path}
+    for caller, callees in graph.edges.items():
+        caller_path = graph.functions[caller].path
+        for callee in callees:
+            callee_path = graph.functions[callee].path
+            if callee_path != caller_path:
+                direct.setdefault(caller_path, set()).add(callee_path)
+    closed: Dict[str, Set[str]] = {}
+
+    def close(path: str, trail: Set[str]) -> Set[str]:
+        if path in closed:
+            return closed[path]
+        if path in trail:
+            return direct.get(path, set())
+        trail.add(path)
+        result = set(direct.get(path, set()))
+        for dep in list(result):
+            result |= close(dep, trail)
+        trail.discard(path)
+        closed[path] = result
+        return result
+
+    for path in direct:
+        close(path, set())
+    return closed
+
+
+def build_project(
+    files: Sequence[Path],
+    cache_path: Optional[Path] = None,
+) -> ProjectContext:
+    """Index ``files``, compute (or load) summaries, return the context.
+
+    Unparsable or unreadable files are skipped — the per-file lint pass
+    reports those as ``parse`` findings; here they simply contribute no
+    summaries, which degrades the affected call sites to the conservative
+    behaviour.
+    """
+    parsed: List[Tuple[Path, ast.Module, str]] = []
+    shas: Dict[str, str] = {}
+    for path in files:
+        display = str(path)
+        try:
+            blob = path.read_bytes()
+            tree = ast.parse(blob.decode("utf-8"), filename=display)
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+        parsed.append((path, tree, display))
+        shas[display] = hashlib.sha256(blob).hexdigest()
+
+    graph = build_call_graph(parsed)
+    cache = SummaryCache(cache_path) if cache_path is not None else None
+
+    pinned: Dict[str, FunctionSummary] = {}
+    if cache is not None:
+        for display, module in graph.modules_by_path.items():
+            entry = cache.valid_entry(display, shas)
+            if entry is None:
+                cache.misses += 1
+                continue
+            stored = entry.get("summaries")
+            if not isinstance(stored, dict):
+                cache.misses += 1
+                continue
+            loaded_all = True
+            loaded: Dict[str, FunctionSummary] = {}
+            for qual, key in module.functions.items():
+                raw = stored.get(qual)
+                if not isinstance(raw, dict):
+                    loaded_all = False
+                    break
+                loaded[key] = FunctionSummary.from_dict(raw)
+            if loaded_all:
+                pinned.update(loaded)
+                cache.hits += 1
+            else:
+                cache.misses += 1
+
+    summaries = compute_summaries(graph, pinned)
+
+    if cache is not None:
+        deps = _transitive_file_deps(graph)
+        for display, module in graph.modules_by_path.items():
+            dep_shas = {
+                dep: shas[dep] for dep in sorted(deps.get(display, ())) if dep in shas
+            }
+            per_file = {
+                qual: summaries[key]
+                for qual, key in module.functions.items()
+                if key in summaries
+            }
+            cache.store(display, shas[display], dep_shas, per_file)
+        cache.save()
+
+    return ProjectContext(graph, summaries)

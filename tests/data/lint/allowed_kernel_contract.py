@@ -1,0 +1,44 @@
+"""Packed-kernel contract compliance twin (fixture corpus; never imported).
+
+Every construct the ``bad_`` twin gets wrong, done right: canonical
+``(n + 63) >> 6`` widths, bitwise-only set algebra, identical-view
+``out=`` targets, and complements that only ever appear under an AND
+mask (including as the mask operand of a ``bitwise_and.at`` scatter).
+"""
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "zeros",
+    "or_rows",
+    "or_into_range",
+    "clear_bits",
+]
+
+WORD_BITS = 64
+
+
+def words_for(n_bits):
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def zeros(rows, n_bits):
+    return np.zeros((rows, (n_bits + 63) >> 6), dtype=np.uint64)
+
+
+def or_rows(bits, rows):
+    return np.bitwise_or.reduce(bits[rows], axis=0)
+
+
+def or_into_range(dst_bits, lo, src_block):
+    hi = lo + src_block.shape[0]
+    np.bitwise_or(dst_bits[lo:hi], src_block, out=dst_bits[lo:hi])
+
+
+def clear_bits(bits, rows, cols):
+    mask = np.zeros(bits.shape[1], dtype=np.uint64)
+    keep = bits[rows] & ~mask
+    np.bitwise_and.at(bits, rows, ~mask)
+    return keep

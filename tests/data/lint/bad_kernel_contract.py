@@ -1,0 +1,48 @@
+"""Packed-kernel contract violations (fixture corpus; never imported).
+
+Shaped like the kernel module (``WORD_BITS`` + ``words_for``) so the
+definition-side checks run.  One violation per contract clause:
+completeness, stale parameter, non-canonical widths (floor and true
+division), arithmetic upcast, partially aliased ``out=``, aliased
+augmented assignment, and an unmasked complement.
+"""
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "zeros",
+    "renamed_kernel",
+]
+
+WORD_BITS = 64
+
+
+def words_for(n_bits):
+    return n_bits // 64
+
+
+def zeros(rows, n_bits):
+    return np.zeros((rows, n_bits / 64), dtype=np.uint64)
+
+
+def renamed_kernel(bits):
+    return bits
+
+
+def popcount(words):
+    return words
+
+
+def or_rows(bits, rows):
+    merged = bits[rows[0]] + bits[rows[1]]
+    return merged
+
+
+def transitive_closure_bits(bits, n_bits):
+    reach = np.array(bits, dtype=np.uint64, copy=True)
+    np.bitwise_or(reach, reach[0][None, :], out=reach)
+    reach |= reach[0]
+    inverted = ~reach
+    return inverted

@@ -1,0 +1,35 @@
+"""Clean twins of the interprocedural mutants: summaries prove safety.
+
+Same cross-module shapes as ``interproc_leak_mutant`` and
+``interproc_rng_mutant``, with the obligations actually discharged: the
+helper-acquired executor is released through ``close_pool`` on every
+path (including the return, which unwinds through the ``finally``), and
+the parent respawns a fresh child stream instead of drawing from the
+escaped one.  Zero findings with or without summaries.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from interproc_helpers import close_pool, make_pool, spawn_child
+
+
+def releases_through_helper(jobs):
+    pool = make_pool(2)
+    try:
+        return len(jobs)
+    finally:
+        close_pool(pool)
+
+
+def respawns_after_escape(seed, jobs):
+    ss = np.random.SeedSequence(seed)
+    worker_rng = spawn_child(ss)
+    results = []
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for job in jobs:
+            results.append(pool.submit(job, worker_rng))
+        local_rng = spawn_child(ss)
+        baseline = float(local_rng.random())
+    return baseline, [r.result() for r in results]

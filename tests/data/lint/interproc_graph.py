@@ -1,0 +1,22 @@
+"""Aliased-import resolution shapes for the call-graph golden tests.
+
+Calls the helper module through a module alias (``import ... as H``), a
+from-import alias (``... import draw_mean as dm``) and an imported
+class (static and class methods through the class name).  The golden
+tests assert the exact resolved edges.
+"""
+
+import interproc_helpers as H
+from interproc_helpers import Widget
+from interproc_helpers import draw_mean as dm
+
+
+def use_alias():
+    pool = H.make_pool(1)
+    H.close_pool(pool)
+    return Widget.offset(3)
+
+
+def use_from_alias(rng):
+    w = Widget.default()
+    return dm(rng, 2) + w.size

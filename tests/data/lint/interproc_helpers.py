@@ -1,0 +1,83 @@
+"""Cross-module helper library for the interprocedural fixture corpus.
+
+Imported (by name, never executed) from the ``interproc_*`` fixtures.
+Exercises every call-graph shape the golden tests pin down: a project
+decorator built on ``functools.wraps`` (summaries must see through it),
+resource factories and releasers (ownership transfer through returns
+and parameters), a spawn-derived generator factory, mutual recursion
+(one SCC, must-release fixed point) and bound/static/class methods.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+
+def logged(fn):
+    """Transparent project decorator (functools.wraps pattern)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def make_pool(workers):
+    """Acquire: the caller owns the returned executor."""
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def close_pool(pool):
+    """Release: discharges the shutdown obligation of ``pool``."""
+    pool.shutdown()
+
+
+@logged
+def draw_mean(rng, n):
+    """Draws from the caller's generator (summary: draws parameter 0)."""
+    total = 0.0
+    for _ in range(n):
+        total += float(rng.random())
+    return total / n
+
+
+def spawn_child(ss):
+    """Spawn-derived child stream (summary: returns_spawn_rng)."""
+    return np.random.default_rng(ss.spawn(1)[0])
+
+
+def rec_ping(pool, depth):
+    """Mutually recursive releaser: shuts ``pool`` down on every path."""
+    if depth == 0:
+        pool.shutdown()
+        return 0
+    return rec_pong(pool, depth - 1)
+
+
+def rec_pong(pool, depth):
+    return rec_ping(pool, depth)
+
+
+class Widget:
+    """Method-resolution shapes: bound, static and class methods."""
+
+    def __init__(self, size):
+        self.size = size
+
+    def area(self):
+        return self._scale(self.size)
+
+    def _scale(self, value):
+        return value * 2
+
+    @staticmethod
+    def offset(value):
+        return value + 1
+
+    @classmethod
+    def default(cls):
+        return cls(8)

@@ -1,0 +1,20 @@
+"""Cross-function resource leak: visible only with callee summaries.
+
+The executor is acquired through ``make_pool`` — a helper in another
+module — and shut down on only one path out of ``leaky``.  Without the
+interprocedural layer the helper call is opaque, no obligation is ever
+created, and the rule stays silent; with summaries the factory's
+``returns_resource`` fact creates the obligation and the early return
+leaks it.  Exactly one finding, on the acquisition line.
+"""
+
+from interproc_helpers import make_pool
+
+
+def leaky(jobs):
+    pool = make_pool(2)
+    if not jobs:
+        return 0
+    done = len(jobs)
+    pool.shutdown()
+    return done

@@ -1,0 +1,26 @@
+"""Escaped generator drawn in a callee: visible only with summaries.
+
+``rng`` is spawn-derived (so the submit itself is fine) and escapes to
+the pool workers; the parent then hands the same stream to
+``draw_mean`` — a helper in another module that draws from it.  Without
+summaries the helper call is opaque and the rule stays silent; with
+them the callee's ``draws`` fact fires exactly one finding, on the
+``draw_mean`` line.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from interproc_helpers import draw_mean
+
+
+def parent(seed, jobs):
+    ss = np.random.SeedSequence(seed)
+    rng = np.random.default_rng(ss.spawn(1)[0])
+    results = []
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for job in jobs:
+            results.append(pool.submit(job, rng))
+        baseline = draw_mean(rng, 8)
+    return baseline, [r.result() for r in results]

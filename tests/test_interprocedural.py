@@ -1,0 +1,367 @@
+"""Golden tests for the interprocedural lint layer.
+
+Pins down the observable behaviour of :mod:`repro.quality.callgraph`
+(module naming, aliased-import and method resolution, decorator
+transparency, SCC ordering), :mod:`repro.quality.summaries` (per-function
+boundary facts and the recursive must-release fixed point), the two
+acceptance mutants (cross-function leak and escaped-generator draw — one
+finding each *with* summaries, zero without), the ``kernel-contract``
+rule against both its fixture twins and the real kernel module, the
+sha-cone summary cache, and the ``--changed-only`` git-diff mode.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.quality import lint_text, run_lint
+from repro.quality.callgraph import build_call_graph, module_name_for
+from repro.quality.kernel_contracts import KERNEL_CONTRACTS
+from repro.quality.summaries import build_project, compute_summaries
+
+DATA = Path(__file__).parent / "data" / "lint"
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+BITSET = SRC / "repro" / "graphs" / "bitset.py"
+
+HELPERS = DATA / "interproc_helpers.py"
+GRAPH_FIXTURE = DATA / "interproc_graph.py"
+LEAK_MUTANT = DATA / "interproc_leak_mutant.py"
+RNG_MUTANT = DATA / "interproc_rng_mutant.py"
+CLEAN = DATA / "interproc_clean.py"
+CORPUS = [HELPERS, GRAPH_FIXTURE, LEAK_MUTANT, RNG_MUTANT, CLEAN]
+
+
+def _parse(path: Path):
+    return path, ast.parse(path.read_text()), str(path)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_call_graph([_parse(p) for p in CORPUS])
+
+
+@pytest.fixture(scope="module")
+def summaries(graph):
+    return compute_summaries(graph)
+
+
+# --------------------------------------------------------------------------- #
+# call graph
+# --------------------------------------------------------------------------- #
+class TestCallGraphGolden:
+    def test_module_names_are_package_aware(self):
+        assert module_name_for(HELPERS) == "interproc_helpers"
+        assert module_name_for(BITSET) == "repro.graphs.bitset"
+
+    def test_module_alias_calls_resolve(self, graph):
+        callees = graph.edges["interproc_graph:use_alias"]
+        assert "interproc_helpers:make_pool" in callees
+        assert "interproc_helpers:close_pool" in callees
+
+    def test_imported_class_staticmethod_resolves(self, graph):
+        callees = graph.edges["interproc_graph:use_alias"]
+        assert "interproc_helpers:Widget.offset" in callees
+
+    def test_from_import_alias_resolves(self, graph):
+        callees = graph.edges["interproc_graph:use_from_alias"]
+        assert "interproc_helpers:draw_mean" in callees
+        assert "interproc_helpers:Widget.default" in callees
+
+    def test_self_method_call_resolves(self, graph):
+        callees = graph.edges["interproc_helpers:Widget.area"]
+        assert "interproc_helpers:Widget._scale" in callees
+
+    def test_method_kinds(self, graph):
+        fns = graph.functions
+        assert fns["interproc_helpers:Widget.area"].kind == "method"
+        assert fns["interproc_helpers:Widget.offset"].kind == "staticmethod"
+        assert fns["interproc_helpers:Widget.default"].kind == "classmethod"
+
+    def test_wraps_decorated_function_is_transparent(self, graph):
+        assert graph.functions["interproc_helpers:draw_mean"].transparent
+
+    def test_mutual_recursion_is_one_scc(self, graph):
+        sccs = graph.sccs_bottom_up()
+        ping_scc = next(c for c in sccs if "interproc_helpers:rec_ping" in c)
+        assert set(ping_scc) == {
+            "interproc_helpers:rec_ping",
+            "interproc_helpers:rec_pong",
+        }
+
+    def test_sccs_are_callees_first(self, graph):
+        sccs = graph.sccs_bottom_up()
+        pos = {key: i for i, component in enumerate(sccs) for key in component}
+        assert pos["interproc_helpers:make_pool"] < pos["interproc_leak_mutant:leaky"]
+        assert pos["interproc_helpers:draw_mean"] < pos["interproc_rng_mutant:parent"]
+
+
+# --------------------------------------------------------------------------- #
+# summaries
+# --------------------------------------------------------------------------- #
+class TestSummariesGolden:
+    def test_factory_returns_resource(self, summaries):
+        summary = summaries["interproc_helpers:make_pool"]
+        assert summary.trusted
+        assert summary.returns_resource is not None
+        desc, actions = summary.returns_resource
+        assert "ThreadPoolExecutor" in desc
+        assert actions == frozenset({"shutdown"})
+
+    def test_releaser_discharges_its_parameter(self, summaries):
+        summary = summaries["interproc_helpers:close_pool"]
+        assert summary.releases == {0: frozenset({"shutdown"})}
+
+    def test_decorated_callee_draw_is_visible(self, summaries):
+        summary = summaries["interproc_helpers:draw_mean"]
+        assert summary.trusted
+        assert summary.draws == frozenset({0})
+
+    def test_spawn_factory_is_recognised(self, summaries):
+        assert summaries["interproc_helpers:spawn_child"].returns_spawn_rng
+
+    def test_mutual_recursion_converges_to_must_release(self, summaries):
+        for key in ("interproc_helpers:rec_ping", "interproc_helpers:rec_pong"):
+            assert summaries[key].releases.get(0) == frozenset({"shutdown"}), key
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance mutants: summaries on vs off
+# --------------------------------------------------------------------------- #
+class TestInterproceduralPrecision:
+    def test_cross_function_leak_found_only_with_summaries(self):
+        with_summaries = run_lint(
+            [LEAK_MUTANT],
+            rules=["resource-leak"],
+            include_project=False,
+            context_paths=[HELPERS],
+        )
+        assert len(with_summaries) == 1
+        assert "returned by make_pool" in with_summaries[0].message
+        without = run_lint(
+            [LEAK_MUTANT],
+            rules=["resource-leak"],
+            include_project=False,
+            use_summaries=False,
+            context_paths=[HELPERS],
+        )
+        assert without == []
+
+    def test_callee_draw_found_only_with_summaries(self):
+        with_summaries = run_lint(
+            [RNG_MUTANT],
+            rules=["rng-discipline"],
+            include_project=False,
+            context_paths=[HELPERS],
+        )
+        assert len(with_summaries) == 1
+        assert "draw_mean" in with_summaries[0].message
+        without = run_lint(
+            [RNG_MUTANT],
+            rules=["rng-discipline"],
+            include_project=False,
+            use_summaries=False,
+            context_paths=[HELPERS],
+        )
+        assert without == []
+
+    def test_clean_twins_stay_clean(self):
+        for use_summaries in (True, False):
+            findings = run_lint(
+                [CLEAN, HELPERS],
+                rules=["resource-leak", "rng-discipline"],
+                include_project=False,
+                use_summaries=use_summaries,
+            )
+            assert findings == [], use_summaries
+
+
+# --------------------------------------------------------------------------- #
+# kernel-contract
+# --------------------------------------------------------------------------- #
+class TestKernelContract:
+    def test_bad_fixture_fires_every_clause(self):
+        findings = run_lint(
+            [DATA / "bad_kernel_contract.py"],
+            rules=["kernel-contract"],
+            include_project=False,
+        )
+        assert len(findings) == 8
+        fragments = [
+            "no entry in the kernel-contract table",
+            "floor division by the word size",
+            "true division by the word size",
+            "stale kernel contract",
+            "arithmetic '+' on a packed uint64 row",
+            "out= target 'reach' partially aliases",
+            "in-place update of 'reach'",
+            "complement of a packed row",
+        ]
+        messages = "\n".join(f.message for f in findings)
+        for fragment in fragments:
+            assert fragment in messages, fragment
+
+    def test_allowed_twin_passes(self):
+        findings = run_lint(
+            [DATA / "allowed_kernel_contract.py"],
+            rules=["kernel-contract"],
+            include_project=False,
+        )
+        assert findings == []
+
+    def test_rule_skips_files_outside_its_scope(self):
+        assert lint_text("x = [1] + [2]\n", rules=["kernel-contract"]) == []
+
+    def test_real_kernel_module_is_clean(self):
+        findings = run_lint([BITSET], rules=["kernel-contract"], include_project=False)
+        assert findings == []
+
+    def test_warshall_pragma_is_load_bearing(self):
+        src = BITSET.read_text().replace("# repro-lint: allow[kernel-contract]", "#")
+        findings = lint_text(src, "bitset.py", rules=["kernel-contract"])
+        assert len(findings) == 1
+        assert "partially aliases" in findings[0].message
+
+    def test_contract_table_matches_module_all(self):
+        tree = ast.parse(BITSET.read_text())
+        exported = None
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                exported = {
+                    e.value for e in node.value.elts if isinstance(e, ast.Constant)
+                }
+        assert exported == set(KERNEL_CONTRACTS)
+
+    def test_call_sites_lint_clean(self):
+        files = sorted((SRC / "repro").rglob("*.py"))
+        findings = run_lint(files, rules=["kernel-contract"], include_project=False)
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# summary cache
+# --------------------------------------------------------------------------- #
+class TestSummaryCache:
+    def _corpus(self, tmp_path):
+        for src in (HELPERS, LEAK_MUTANT):
+            shutil.copy(src, tmp_path / src.name)
+        return tmp_path / HELPERS.name, tmp_path / LEAK_MUTANT.name
+
+    def test_cache_round_trip_is_stable(self, tmp_path):
+        helpers, mutant = self._corpus(tmp_path)
+        cache = tmp_path / "summaries.json"
+        first = run_lint(
+            [mutant],
+            rules=["resource-leak"],
+            include_project=False,
+            summary_cache=cache,
+            context_paths=[helpers],
+        )
+        assert len(first) == 1
+        payload = json.loads(cache.read_text())
+        assert payload["version"] == 1
+        entry = payload["files"][str(helpers)]
+        assert "sha256" in entry and "deps" in entry and "summaries" in entry
+        second = run_lint(
+            [mutant],
+            rules=["resource-leak"],
+            include_project=False,
+            summary_cache=cache,
+            context_paths=[helpers],
+        )
+        assert [f.message for f in second] == [f.message for f in first]
+
+    def test_editing_a_dep_invalidates_the_sha_cone(self, tmp_path):
+        helpers, mutant = self._corpus(tmp_path)
+        cache = tmp_path / "summaries.json"
+        kwargs = dict(
+            rules=["resource-leak"],
+            include_project=False,
+            summary_cache=cache,
+            context_paths=[helpers],
+        )
+        assert len(run_lint([mutant], **kwargs)) == 1
+        # Neuter the factory: it no longer hands back a live resource, so
+        # a stale cached summary is the only way the finding could survive.
+        text = helpers.read_text().replace(
+            "    return ThreadPoolExecutor(max_workers=workers)", "    return None"
+        )
+        helpers.write_text(text)
+        assert run_lint([mutant], **kwargs) == []
+
+    def test_build_project_reports_cache_traffic(self, tmp_path):
+        helpers, mutant = self._corpus(tmp_path)
+        cache = tmp_path / "summaries.json"
+        build_project([helpers, mutant], cache_path=cache)
+        assert cache.exists()
+        context = build_project([helpers, mutant], cache_path=cache)
+        resolver = context.resolver_for(str(mutant))
+        assert resolver is not None
+
+
+# --------------------------------------------------------------------------- #
+# --changed-only
+# --------------------------------------------------------------------------- #
+class TestChangedOnly:
+    def _run(self, cwd, *args):
+        code = (
+            "import sys; from repro.quality.framework import main; "
+            "sys.exit(main(sys.argv[1:]))"
+        )
+        return subprocess.run(
+            [sys.executable, "-c", code, *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+
+    def _git(self, cwd, *args):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+        )
+
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q", "-b", "main")
+        (tmp_path / "clean.py").write_text("VALUE = 1\n")
+        (tmp_path / "dirty.py").write_text("VALUE = 2\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_no_changes_lints_nothing(self, repo):
+        proc = self._run(repo, "--changed-only", ".")
+        assert proc.returncode == 0, proc.stderr
+        assert "no changed files" in proc.stdout
+
+    def test_only_the_changed_file_is_linted(self, repo):
+        (repo / "dirty.py").write_text("import random\nVALUE = random.random()\n")
+        proc = self._run(repo, "--changed-only", ".")
+        assert proc.returncode == 1, proc.stderr
+        assert "dirty.py" in proc.stdout
+        assert "clean.py" not in proc.stdout
+
+    def test_untracked_files_count_as_changed(self, repo):
+        (repo / "fresh.py").write_text("import random\nX = random.random()\n")
+        proc = self._run(repo, "--changed-only", ".")
+        assert proc.returncode == 1, proc.stderr
+        assert "fresh.py" in proc.stdout
+
+    def test_outside_git_falls_back_to_full_lint(self, tmp_path):
+        (tmp_path / "dirty.py").write_text("import random\nX = random.random()\n")
+        proc = self._run(tmp_path, "--changed-only", ".")
+        assert proc.returncode == 1, proc.stderr
+        assert "dirty.py" in proc.stdout
